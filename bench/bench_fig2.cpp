@@ -1,0 +1,110 @@
+// Fig. 2 reproduction: SWEEP [15] and SCOPE [14] against D-MUX and
+// symmetric MUX locking on the ISCAS-85 suite — the resilience result the
+// defense papers report and this paper re-verifies before breaking it.
+//
+// Paper protocol: 100 locked copies per circuit at K = 64; 600 cross-circuit
+// designs train SWEEP. Scaled protocol: fewer copies / smaller K (printed).
+//
+// Expected shape: both attacks hover at chance. The paper plots KPA ≈ 50%
+// because its commercial-synthesis features are noisy enough to force coin
+// flips; our noiseless cleanup engine leaves the undecidable bits as X, so
+// the same failure shows up as a near-zero decision rate and AC. We also
+// print "forced KPA" (X bits resolved by a seeded coin) for a like-for-like
+// comparison with the figure.
+#include <iostream>
+#include <random>
+
+#include "attacks/constprop.h"
+#include "attacks/metrics.h"
+#include "circuitgen/suites.h"
+#include "eval/protocol.h"
+#include "eval/table.h"
+
+using namespace muxlink;
+
+namespace {
+
+locking::LockedDesign lock(const netlist::Netlist& nl, const std::string& scheme,
+                           std::size_t key_bits, std::uint64_t seed) {
+  locking::MuxLockOptions o;
+  o.key_bits = key_bits;
+  o.seed = seed;
+  o.allow_partial = true;
+  return scheme == "dmux" ? locking::lock_dmux(nl, o) : locking::lock_symmetric(nl, o);
+}
+
+double forced_kpa(const locking::LockedDesign& d, std::vector<locking::KeyBit> key,
+                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (auto& b : key) {
+    if (b == locking::KeyBit::kUnknown) {
+      b = (rng() & 1) != 0 ? locking::KeyBit::kOne : locking::KeyBit::kZero;
+    }
+  }
+  return attacks::score_key(d.key, key).kpa_percent();
+}
+
+}  // namespace
+
+int main() {
+  const eval::Protocol protocol = eval::load_protocol();
+  const std::size_t key_bits = protocol.full ? 64 : 32;
+  const int test_copies = protocol.full ? 100 : 2;
+  const int train_copies = protocol.full ? 6 : 3;
+
+  std::vector<std::string> circuits;
+  for (const auto& run : protocol.iscas) circuits.push_back(run.name);
+
+  eval::print_banner(std::cout, "Fig. 2 — SWEEP/SCOPE on learning-resilient MUX locking (" +
+                                    protocol.mode_name() + ", K=" + std::to_string(key_bits) +
+                                    ")");
+  eval::Table table({"scheme", "circuit", "attack", "AC", "PC", "KPA", "forced-KPA",
+                     "decided"});
+
+  for (const std::string scheme : {"dmux", "symmetric"}) {
+    for (const auto& name : circuits) {
+      const netlist::Netlist nl = circuitgen::make_benchmark(name);
+
+      // SWEEP trains on differently-seeded lockings of the *other* circuits
+      // (the cross-validation split of the original evaluation).
+      attacks::SweepAttack sweep;
+      std::uint64_t train_seed = 1000;
+      for (const auto& other : circuits) {
+        if (other == name) continue;
+        const netlist::Netlist tnl = circuitgen::make_benchmark(other);
+        for (int c = 0; c < train_copies; ++c) {
+          sweep.add_training_design(lock(tnl, scheme, key_bits, ++train_seed));
+        }
+      }
+      sweep.train();
+
+      attacks::KeyPredictionScore sweep_score, scope_score;
+      double sweep_fk = 0.0, scope_fk = 0.0;
+      for (int c = 0; c < test_copies; ++c) {
+        const locking::LockedDesign d = lock(nl, scheme, key_bits, 77 + c);
+        const auto sweep_key = sweep.attack(d.netlist);
+        const auto scope_key = attacks::scope_attack(d.netlist);
+        sweep_score += attacks::score_key(d.key, sweep_key);
+        scope_score += attacks::score_key(d.key, scope_key);
+        sweep_fk += forced_kpa(d, sweep_key, 7 + c);
+        scope_fk += forced_kpa(d, scope_key, 9 + c);
+      }
+      sweep_fk /= test_copies;
+      scope_fk /= test_copies;
+
+      table.add_row({scheme, name, "SWEEP", eval::Table::pct(sweep_score.accuracy_percent()),
+                     eval::Table::pct(sweep_score.precision_percent()),
+                     eval::Table::pct(sweep_score.kpa_percent()), eval::Table::pct(sweep_fk),
+                     eval::Table::pct(sweep_score.decision_rate_percent())});
+      table.add_row({scheme, name, "SCOPE", eval::Table::pct(scope_score.accuracy_percent()),
+                     eval::Table::pct(scope_score.precision_percent()),
+                     eval::Table::pct(scope_score.kpa_percent()), eval::Table::pct(scope_fk),
+                     eval::Table::pct(scope_score.decision_rate_percent())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: average KPA ~= 50% for both attacks on both schemes (Fig. 2a).\n"
+               "Here the same resilience appears as chance-level forced-KPA and a\n"
+               "near-zero committed decision rate.\n";
+  return 0;
+}

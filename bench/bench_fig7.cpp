@@ -1,0 +1,82 @@
+// Fig. 7 reproduction: MuxLink accuracy (AC), precision (PC), and KPA on
+// D-MUX- and symmetric-MUX-locked ISCAS-85 / ITC-99 benchmarks, h = 3,
+// th = 0.01.
+//
+// Expected shape (paper): averages in the mid-90s; performance improves
+// with benchmark size; D-MUX locks more localities per key bit than the
+// symmetric scheme (which burns two bits per locality).
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "circuitgen/suites.h"
+#include "eval/protocol.h"
+#include "eval/table.h"
+
+using namespace muxlink;
+
+int main() {
+  const eval::Protocol protocol = eval::load_protocol();
+  eval::print_banner(std::cout,
+                     "Fig. 7 — MuxLink on D-MUX and symmetric MUX locking (" +
+                         protocol.mode_name() + ", h=3, th=0.01)");
+
+  eval::Table table({"scheme", "suite", "circuit", "K", "AC", "PC", "KPA", "time"});
+  struct Avg {
+    double ac = 0, pc = 0, kpa = 0;
+    int n = 0;
+  };
+  std::map<std::string, Avg> averages;
+
+  auto run_suite = [&](const std::string& suite,
+                       const std::vector<eval::Protocol::CircuitRun>& runs,
+                       const std::string& scheme) {
+    for (const auto& run : runs) {
+      const netlist::Netlist nl = circuitgen::make_benchmark(run.name, run.scale);
+      for (std::size_t k : run.key_sizes) {
+        if (scheme == "symmetric" && k % 2 != 0) continue;
+        const auto outcome = eval::lock_and_attack(nl, scheme, k, protocol.attack_options());
+        table.add_row({scheme, suite, run.name, std::to_string(outcome.design.key_size()),
+                       eval::Table::pct(outcome.score.accuracy_percent()),
+                       eval::Table::pct(outcome.score.precision_percent()),
+                       eval::Table::pct(outcome.score.kpa_percent()),
+                       eval::Table::num(outcome.result.total_seconds, 1) + "s"});
+        Avg& avg = averages[scheme + "/" + suite];
+        avg.ac += outcome.score.accuracy_percent();
+        avg.pc += outcome.score.precision_percent();
+        avg.kpa += outcome.score.kpa_percent();
+        ++avg.n;
+        std::cout << "." << std::flush;
+      }
+    }
+  };
+
+  for (const std::string scheme : {"dmux", "symmetric"}) {
+    run_suite("ISCAS-85", protocol.iscas, scheme);
+    run_suite("ITC-99", protocol.itc, scheme);
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+
+  eval::Table avg_table({"scheme/suite", "avg AC", "avg PC", "avg KPA",
+                         "paper avg AC", "paper avg PC", "paper avg KPA"});
+  const std::map<std::string, std::array<double, 3>> paper = {
+      {"dmux/ISCAS-85", {94.61, 95.41, 95.37}},
+      {"dmux/ITC-99", {98.49, 99.43, 99.43}},
+      {"symmetric/ISCAS-85", {96.95, 97.31, 97.30}},
+      {"symmetric/ITC-99", {98.90, 99.38, 99.38}},
+  };
+  for (const auto& [key, avg] : averages) {
+    const auto it = paper.find(key);
+    avg_table.add_row({key, eval::Table::pct(avg.ac / avg.n), eval::Table::pct(avg.pc / avg.n),
+                       eval::Table::pct(avg.kpa / avg.n),
+                       it != paper.end() ? eval::Table::pct(it->second[0]) : "-",
+                       it != paper.end() ? eval::Table::pct(it->second[1]) : "-",
+                       it != paper.end() ? eval::Table::pct(it->second[2]) : "-"});
+  }
+  std::cout << '\n';
+  avg_table.print(std::cout);
+  std::cout << "\nShape to check: MuxLink far above the 50% chance line that SWEEP/SCOPE\n"
+               "are stuck at (bench_fig2); accuracy grows with circuit size.\n";
+  return 0;
+}

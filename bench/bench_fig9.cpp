@@ -1,0 +1,71 @@
+// Fig. 9 reproduction: MuxLink under different post-processing thresholds
+// th ∈ [0, 1], step 0.05. The GNN is trained once per circuit/scheme; only
+// the post-processing is repeated (exactly the paper's protocol: "The GNN
+// does not require any re-training as the th value only affects the
+// post-processing").
+//
+// Expected shape: PC climbs to 100% at th = 1 while the decision rate
+// collapses (~30% in the paper); AC degrades gracefully; even th = 0 keeps
+// precision high.
+#include <iostream>
+
+#include "attacks/metrics.h"
+#include "circuitgen/suites.h"
+#include "eval/protocol.h"
+#include "eval/table.h"
+
+using namespace muxlink;
+
+int main() {
+  const eval::Protocol protocol = eval::load_protocol();
+  eval::print_banner(std::cout,
+                     "Fig. 9 — threshold (th) sweep, post-processing only (" +
+                         protocol.mode_name() + ")");
+
+  struct Trained {
+    std::string label;
+    locking::LockedDesign design;
+    core::MuxLinkAttack attack;
+  };
+  std::vector<Trained> runs;
+  const auto& circuits = protocol.full ? protocol.iscas
+                                       : std::vector<eval::Protocol::CircuitRun>{
+                                             protocol.iscas.front(), protocol.iscas[1]};
+  for (const std::string scheme : {"dmux", "symmetric"}) {
+    for (const auto& run : circuits) {
+      const netlist::Netlist nl = circuitgen::make_benchmark(run.name, run.scale);
+      locking::MuxLockOptions lo;
+      lo.key_bits = run.key_sizes.front();
+      lo.seed = 11;
+      lo.allow_partial = true;
+      locking::LockedDesign d =
+          scheme == "dmux" ? locking::lock_dmux(nl, lo) : locking::lock_symmetric(nl, lo);
+      core::MuxLinkAttack attack(protocol.attack_options());
+      (void)attack.run(d.netlist);
+      runs.push_back({scheme + "/" + run.name, std::move(d), std::move(attack)});
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n\n";
+
+  eval::Table table({"th", "avg AC", "avg PC", "avg KPA", "avg decided"});
+  for (int step = 0; step <= 20; ++step) {
+    const double th = 0.05 * step;
+    double ac = 0, pc = 0, kpa = 0, dec = 0;
+    for (auto& r : runs) {
+      const auto key = r.attack.post_process(th);
+      const auto s = attacks::score_key(r.design.key, key);
+      ac += s.accuracy_percent();
+      pc += s.precision_percent();
+      kpa += s.kpa_percent();
+      dec += s.decision_rate_percent();
+    }
+    const double n = static_cast<double>(runs.size());
+    table.add_row({eval::Table::num(th, 2), eval::Table::pct(ac / n), eval::Table::pct(pc / n),
+                   eval::Table::pct(kpa / n), eval::Table::pct(dec / n)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape to check: PC -> 100% as th -> 1 while the decision rate collapses\n"
+               "(paper: ~30% of bits still predicted at th = 1, all of them correct).\n";
+  return 0;
+}

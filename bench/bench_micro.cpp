@@ -1,0 +1,130 @@
+// Micro benchmarks (google-benchmark) for the performance-critical kernels:
+// bit-parallel simulation, cleanup/re-synthesis, enclosing-subgraph
+// extraction + DRNL, and DGCNN forward/backward.
+#include <benchmark/benchmark.h>
+
+#include "circuitgen/suites.h"
+#include "gnn/encoding.h"
+#include "graph/circuit_graph.h"
+#include "graph/sampling.h"
+#include "graph/subgraph.h"
+#include "locking/mux_lock.h"
+#include "sim/simulator.h"
+#include "synth/features.h"
+#include "synth/synthesis.h"
+
+namespace {
+
+using namespace muxlink;
+
+const netlist::Netlist& c880() {
+  static const netlist::Netlist nl = circuitgen::make_benchmark("c880");
+  return nl;
+}
+
+const netlist::Netlist& c7552() {
+  static const netlist::Netlist nl = circuitgen::make_benchmark("c7552");
+  return nl;
+}
+
+void BM_SimulatorBlock(benchmark::State& state) {
+  const auto& nl = state.range(0) == 0 ? c880() : c7552();
+  const sim::Simulator simulator(nl);
+  sim::PatternGenerator gen(1);
+  auto block = gen.next_block(nl.inputs().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(block));
+  }
+  // 64 patterns per iteration.
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_SimulatorBlock)->Arg(0)->Arg(1);
+
+void BM_CleanupPass(benchmark::State& state) {
+  const auto& nl = c880();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::cleanup(nl));
+  }
+  state.SetLabel(nl.name());
+}
+BENCHMARK(BM_CleanupPass);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& nl = c880();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::extract_features(nl));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_DmuxLocking(benchmark::State& state) {
+  const auto& nl = c880();
+  locking::MuxLockOptions opts;
+  opts.key_bits = 64;
+  for (auto _ : state) {
+    opts.seed++;
+    benchmark::DoNotOptimize(locking::lock_dmux(nl, opts));
+  }
+}
+BENCHMARK(BM_DmuxLocking);
+
+void BM_SubgraphExtraction(benchmark::State& state) {
+  const auto graph = graph::build_circuit_graph(c880());
+  const auto edges = graph.all_edges();
+  graph::SubgraphOptions opts;
+  opts.hops = static_cast<int>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::extract_enclosing_subgraph(graph, edges[i++ % edges.size()], opts));
+  }
+  state.SetLabel("h=" + std::to_string(opts.hops));
+}
+BENCHMARK(BM_SubgraphExtraction)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+gnn::GraphSample sample_for_bench() {
+  const auto graph = graph::build_circuit_graph(c880());
+  graph::SubgraphOptions opts;
+  opts.hops = 3;
+  const auto sg = graph::extract_enclosing_subgraph(graph, graph.all_edges()[10], opts);
+  return gnn::encode_subgraph(sg, 3, 1);
+}
+
+void BM_DgcnnForward(benchmark::State& state) {
+  const auto sample = sample_for_bench();
+  gnn::DgcnnConfig cfg;
+  cfg.sortpool_k = 40;
+  gnn::Dgcnn model(gnn::feature_dim_for_hops(3), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(sample));
+  }
+}
+BENCHMARK(BM_DgcnnForward);
+
+void BM_DgcnnTrainStep(benchmark::State& state) {
+  const auto sample = sample_for_bench();
+  gnn::DgcnnConfig cfg;
+  cfg.sortpool_k = 40;
+  gnn::Dgcnn model(gnn::feature_dim_for_hops(3), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.accumulate_gradients(sample));
+    model.adam_step(1);
+  }
+}
+BENCHMARK(BM_DgcnnTrainStep);
+
+void BM_LinkSampling(benchmark::State& state) {
+  const auto graph = graph::build_circuit_graph(c7552());
+  graph::SamplingOptions opts;
+  opts.max_links = 2000;
+  for (auto _ : state) {
+    opts.seed++;
+    benchmark::DoNotOptimize(graph::sample_links(graph, {}, opts));
+  }
+}
+BENCHMARK(BM_LinkSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Reference [7] context: the OMLA-style GNN key-gate classifier breaks
+// X(N)OR locking but has nothing to learn on MUX-based schemes (identical
+// MUX key gates, equiprobable arms) or balanced TRLL — the gap that the
+// paper's link-prediction formulation closes (bench_fig7).
+#include <iostream>
+#include <random>
+
+#include "attacks/metrics.h"
+#include "attacks/omla.h"
+#include "circuitgen/suites.h"
+#include "eval/table.h"
+#include "locking/mux_lock.h"
+#include "locking/trll.h"
+
+using namespace muxlink;
+
+namespace {
+
+locking::LockedDesign lock(const std::string& scheme, const netlist::Netlist& nl,
+                           locking::MuxLockOptions o) {
+  if (scheme == "xor") return locking::lock_xor(nl, o);
+  if (scheme == "trll") return locking::lock_trll(nl, o);
+  if (scheme == "dmux") return locking::lock_dmux(nl, o);
+  return locking::lock_symmetric(nl, o);
+}
+
+double forced_kpa(const locking::LockedDesign& d, std::vector<locking::KeyBit> key,
+                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (auto& b : key) {
+    if (b == locking::KeyBit::kUnknown) {
+      b = (rng() & 1) != 0 ? locking::KeyBit::kOne : locking::KeyBit::kZero;
+    }
+  }
+  return attacks::score_key(d.key, key).kpa_percent();
+}
+
+}  // namespace
+
+int main() {
+  eval::print_banner(std::cout, "OMLA-style key-gate classifier vs locking schemes (K=32)");
+  eval::Table table({"scheme", "AC", "KPA", "forced-KPA", "decided"});
+
+  for (const std::string scheme : {"xor", "trll", "dmux", "symmetric"}) {
+    attacks::OmlaOptions oo;
+    oo.epochs = 40;
+    attacks::OmlaAttack attack(oo);
+    locking::MuxLockOptions o;
+    o.key_bits = 32;
+    o.allow_partial = true;
+    std::uint64_t seed = 100;
+    for (const auto& name : {"c432", "c499"}) {
+      const netlist::Netlist nl = circuitgen::make_benchmark(name);
+      for (int c = 0; c < 3; ++c) {
+        o.seed = ++seed;
+        attack.add_training_design(lock(scheme, nl, o));
+      }
+    }
+    attack.train();
+
+    const netlist::Netlist victim_nl = circuitgen::make_benchmark("c880");
+    attacks::KeyPredictionScore score;
+    double fk = 0.0;
+    for (int c = 0; c < 2; ++c) {
+      o.seed = 900 + c;
+      const auto victim = lock(scheme, victim_nl, o);
+      const auto key = attack.attack(victim.netlist);
+      score += attacks::score_key(victim.key, key);
+      fk += forced_kpa(victim, key, 7 + c);
+    }
+    fk /= 2;
+    table.add_row({scheme, eval::Table::pct(score.accuracy_percent()),
+                   eval::Table::pct(score.kpa_percent()), eval::Table::pct(fk),
+                   eval::Table::pct(score.decision_rate_percent())});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nShape to check: near-100% on XOR locking (the key-gate type is the\n"
+               "leak), chance on TRLL and on the MUX-based schemes — locality-based\n"
+               "GNNs have nothing to learn there, hence MuxLink's link prediction.\n";
+  return 0;
+}

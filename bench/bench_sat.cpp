@@ -1,0 +1,62 @@
+// Threat-model contrast (§I of the paper): the oracle-GUIDED SAT attack [2]
+// breaks every MUX-based scheme in a handful of distinguishing-input
+// iterations — MUX locking was never SAT-resilient — but it needs a working
+// chip. MuxLink (bench_fig7) reaches most of the key with no oracle at all,
+// which is the paper's point about the oracle-less model being the
+// realistic and harder setting.
+#include <chrono>
+#include <iostream>
+
+#include "attacks/metrics.h"
+#include "attacks/sat_attack.h"
+#include "circuitgen/suites.h"
+#include "eval/table.h"
+#include "locking/mux_lock.h"
+#include "sim/simulator.h"
+
+using namespace muxlink;
+
+int main() {
+  eval::print_banner(std::cout, "Oracle-guided SAT attack [2] vs MUX locking");
+  eval::Table table({"circuit", "scheme", "K", "iterations", "conflicts", "time",
+                     "functionally correct"});
+
+  for (const std::string name : {"c432", "c880"}) {
+    const netlist::Netlist nl = circuitgen::make_benchmark(name);
+    for (const std::string scheme : {"xor", "dmux", "symmetric"}) {
+      locking::MuxLockOptions lo;
+      lo.key_bits = 32;
+      lo.seed = 17;
+      lo.allow_partial = true;
+      const locking::LockedDesign d = scheme == "xor"    ? locking::lock_xor(nl, lo)
+                                      : scheme == "dmux" ? locking::lock_dmux(nl, lo)
+                                                         : locking::lock_symmetric(nl, lo);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r =
+          attacks::sat_attack(d.netlist, attacks::make_simulation_oracle(nl, d.netlist));
+      const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+      bool correct = false;
+      if (r.success) {
+        sim::HammingOptions pins;
+        pins.num_patterns = 8192;
+        for (std::size_t i = 0; i < r.key.size(); ++i) {
+          pins.extra_inputs_b.emplace_back(d.key_input_names[i],
+                                           r.key[i] == locking::KeyBit::kOne);
+        }
+        correct = sim::functionally_equivalent(nl, d.netlist, pins);
+      }
+      table.add_row({name, scheme, std::to_string(d.key_size()),
+                     std::to_string(r.iterations), std::to_string(r.conflicts),
+                     eval::Table::num(secs, 2) + "s", correct ? "yes" : "NO"});
+      std::cout << "." << std::flush;
+    }
+  }
+  std::cout << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nShape to check: every scheme falls in few iterations WITH an oracle —\n"
+               "MUX locking never claimed SAT resilience. The defense (and MuxLink's\n"
+               "contribution) live in the oracle-less model, where this attack cannot\n"
+               "run at all.\n";
+  return 0;
+}

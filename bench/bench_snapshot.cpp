@@ -1,0 +1,84 @@
+// §I context result ([10]'s own evaluation, quoted by the paper): the
+// SnapShot-style locality-learning attack reports ~50% KPA on D-MUX — i.e.
+// random guessing — while it breaks conventional XOR locking. This is the
+// baseline MuxLink leapfrogs by attacking links instead of key-gate
+// localities.
+#include <iostream>
+#include <random>
+
+#include "attacks/metrics.h"
+#include "attacks/snapshot.h"
+#include "circuitgen/suites.h"
+#include "eval/table.h"
+#include "locking/mux_lock.h"
+#include "locking/trll.h"
+
+using namespace muxlink;
+
+namespace {
+
+locking::LockedDesign lock(const std::string& scheme, const netlist::Netlist& nl,
+                           locking::MuxLockOptions o) {
+  if (scheme == "xor") return locking::lock_xor(nl, o);
+  if (scheme == "trll") return locking::lock_trll(nl, o);
+  if (scheme == "dmux") return locking::lock_dmux(nl, o);
+  return locking::lock_symmetric(nl, o);
+}
+
+double forced_kpa(const locking::LockedDesign& d, std::vector<locking::KeyBit> key,
+                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (auto& b : key) {
+    if (b == locking::KeyBit::kUnknown) {
+      b = (rng() & 1) != 0 ? locking::KeyBit::kOne : locking::KeyBit::kZero;
+    }
+  }
+  return attacks::score_key(d.key, key).kpa_percent();
+}
+
+}  // namespace
+
+int main() {
+  eval::print_banner(std::cout,
+                     "SnapShot-style locality attack vs locking schemes (GSS, K=32)");
+  eval::Table table({"scheme", "AC", "PC", "KPA", "forced-KPA", "decided"});
+
+  const std::vector<std::string> train_circuits{"c432", "c499", "c1355"};
+  for (const std::string scheme : {"xor", "trll", "dmux", "symmetric"}) {
+    attacks::SnapshotAttack attack;
+    locking::MuxLockOptions o;
+    o.key_bits = 32;
+    o.allow_partial = true;
+    std::uint64_t seed = 100;
+    for (const auto& name : train_circuits) {
+      const netlist::Netlist nl = circuitgen::make_benchmark(name);
+      for (int c = 0; c < 3; ++c) {
+        o.seed = ++seed;
+        attack.add_training_design(lock(scheme, nl, o));
+      }
+    }
+    attack.train();
+
+    const netlist::Netlist victim_nl = circuitgen::make_benchmark("c880");
+    attacks::KeyPredictionScore score;
+    double fk = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      o.seed = 900 + c;
+      const auto victim = lock(scheme, victim_nl, o);
+      const auto key = attack.attack(victim.netlist);
+      score += attacks::score_key(victim.key, key);
+      fk += forced_kpa(victim, key, 7 + c);
+    }
+    fk /= 3;
+    table.add_row({scheme, eval::Table::pct(score.accuracy_percent()),
+                   eval::Table::pct(score.precision_percent()),
+                   eval::Table::pct(score.kpa_percent()), eval::Table::pct(fk),
+                   eval::Table::pct(score.decision_rate_percent())});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape to check: XOR locking falls (~100% KPA, gate type maps to the\n"
+               "key); TRLL blunts the attack substantially; the MUX-based schemes hold\n"
+               "SnapShot at the ~50% chance line — the 'learning-resilient' status\n"
+               "MuxLink later circumvents (bench_fig7).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Attacker's scenario end-to-end: break a D-MUX-locked and a symmetric
+// MUX-locked design with MuxLink, then reconstruct the netlist and measure
+// functional recovery (the paper's Fig. 7 + Fig. 8 story on one circuit).
+//
+//   $ ./examples/break_and_recover
+#include <cstdio>
+#include <iostream>
+
+#include "attacks/metrics.h"
+#include "circuitgen/suites.h"
+#include "eval/table.h"
+#include "locking/mux_lock.h"
+#include "locking/resolve.h"
+#include "muxlink/attack.h"
+#include "netlist/bench_io.h"
+
+int main() {
+  using namespace muxlink;
+
+  const netlist::Netlist original = circuitgen::make_benchmark("c880");
+  eval::print_banner(std::cout, "MuxLink vs learning-resilient MUX locking on c880");
+
+  eval::Table table({"scheme", "K", "AC", "PC", "KPA", "HD", "attack time"});
+  for (const std::string scheme : {"dmux", "symmetric"}) {
+    locking::MuxLockOptions lock_opts;
+    lock_opts.key_bits = 64;
+    lock_opts.seed = 99;
+    const locking::LockedDesign locked = scheme == "dmux"
+                                             ? locking::lock_dmux(original, lock_opts)
+                                             : locking::lock_symmetric(original, lock_opts);
+
+    core::MuxLinkOptions attack_opts;
+    attack_opts.epochs = 30;
+    attack_opts.learning_rate = 1e-3;
+    attack_opts.max_train_links = 1500;
+    core::MuxLinkAttack attack(attack_opts);
+    const core::MuxLinkResult result = attack.run(locked.netlist);
+    const auto score = attacks::score_key(locked.key, result.key);
+
+    // Functional recovery: Hamming distance between the original outputs
+    // and the recovered design's outputs, X bits averaged over completions.
+    const double hd =
+        locking::average_hd_percent(original, locked, result.key, {.num_patterns = 50000});
+
+    table.add_row({scheme, std::to_string(locked.key_size()),
+                   eval::Table::pct(score.accuracy_percent()),
+                   eval::Table::pct(score.precision_percent()),
+                   eval::Table::pct(score.kpa_percent()), eval::Table::pct(hd),
+                   eval::Table::num(result.total_seconds, 1) + "s"});
+  }
+  table.print(std::cout);
+  std::cout << "\nHD -> 0% means the attacker recovered (almost) the exact function;\n"
+               "a secure scheme would hold HD near 50%.\n";
+  return 0;
+}

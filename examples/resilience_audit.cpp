@@ -1,0 +1,91 @@
+// Defender's scenario: audit a locking scheme against the pre-MuxLink
+// oracle-less attack suite (SAAM, SWEEP, SCOPE), the way the D-MUX and
+// symmetric-locking papers did — and see why the schemes were believed to
+// be learning-resilient.
+//
+//   $ ./examples/resilience_audit
+#include <iostream>
+
+#include "attacks/constprop.h"
+#include "attacks/metrics.h"
+#include "attacks/saam.h"
+#include "circuitgen/suites.h"
+#include "eval/table.h"
+#include "locking/mux_lock.h"
+
+int main() {
+  using namespace muxlink;
+
+  const netlist::Netlist design = circuitgen::make_benchmark("c880");
+  locking::MuxLockOptions opts;
+  opts.key_bits = 32;
+  opts.seed = 7;
+
+  struct SchemeUnderAudit {
+    std::string label;
+    locking::LockedDesign locked;
+  };
+  std::vector<SchemeUnderAudit> schemes;
+  schemes.push_back({"XOR/XNOR", locking::lock_xor(design, opts)});
+  schemes.push_back({"naive MUX", locking::lock_naive_mux(design, opts)});
+  schemes.push_back({"D-MUX (eD-MUX)", locking::lock_dmux(design, opts)});
+  schemes.push_back({"symmetric MUX", locking::lock_symmetric(design, opts)});
+
+  // SWEEP needs a training corpus of locked designs with known keys.
+  // Train one model per scheme on re-locked copies of other circuits.
+  eval::print_banner(std::cout, "Oracle-less attack audit on " + design.name() + " (K=32)");
+  eval::Table table({"scheme", "attack", "AC", "PC", "KPA", "decided"});
+
+  for (const auto& s : schemes) {
+    // SAAM is purely structural (MUX schemes only).
+    if (s.label != "XOR/XNOR") {
+      const auto key = attacks::saam_attack(s.locked.netlist);
+      const auto sc = attacks::score_key(s.locked.key, key);
+      table.add_row({s.label, "SAAM", eval::Table::pct(sc.accuracy_percent()),
+                     eval::Table::pct(sc.precision_percent()), eval::Table::pct(sc.kpa_percent()),
+                     eval::Table::pct(sc.decision_rate_percent())});
+    }
+
+    // SCOPE is unsupervised.
+    {
+      const auto key = attacks::scope_attack(s.locked.netlist);
+      const auto sc = attacks::score_key(s.locked.key, key);
+      table.add_row({s.label, "SCOPE", eval::Table::pct(sc.accuracy_percent()),
+                     eval::Table::pct(sc.precision_percent()), eval::Table::pct(sc.kpa_percent()),
+                     eval::Table::pct(sc.decision_rate_percent())});
+    }
+
+    // SWEEP: train on four differently-seeded lockings of c432/c499-class
+    // circuits with the same scheme.
+    {
+      attacks::SweepAttack sweep;
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        locking::MuxLockOptions train_opts = opts;
+        train_opts.seed = seed * 101;
+        train_opts.key_bits = 16;
+        const auto train_circuit = circuitgen::make_benchmark(seed % 2 ? "c432" : "c499");
+        if (s.label == "XOR/XNOR") {
+          sweep.add_training_design(locking::lock_xor(train_circuit, train_opts));
+        } else if (s.label == "naive MUX") {
+          sweep.add_training_design(locking::lock_naive_mux(train_circuit, train_opts));
+        } else if (s.label == "D-MUX (eD-MUX)") {
+          sweep.add_training_design(locking::lock_dmux(train_circuit, train_opts));
+        } else {
+          sweep.add_training_design(locking::lock_symmetric(train_circuit, train_opts));
+        }
+      }
+      sweep.train();
+      const auto key = sweep.attack(s.locked.netlist);
+      const auto sc = attacks::score_key(s.locked.key, key);
+      table.add_row({s.label, "SWEEP", eval::Table::pct(sc.accuracy_percent()),
+                     eval::Table::pct(sc.precision_percent()), eval::Table::pct(sc.kpa_percent()),
+                     eval::Table::pct(sc.decision_rate_percent())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: XOR leaks to constant propagation and naive MUX falls to\n"
+               "SAAM, while D-MUX and symmetric MUX locking blank all three attacks\n"
+               "(low decision rates / chance-level accuracy) — the 'learning-resilient'\n"
+               "claim MuxLink later broke.\n";
+  return 0;
+}

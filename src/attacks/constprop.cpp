@@ -1,0 +1,146 @@
+#include "attacks/constprop.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "attacks/key_trace.h"
+#include "synth/features.h"
+#include "synth/synthesis.h"
+
+namespace muxlink::attacks {
+
+using locking::KeyBit;
+using netlist::Netlist;
+
+std::vector<double> key_bit_feature_diff(const Netlist& locked, const std::string& key_input) {
+  const auto f0 = synth::extract_features(synth::hardcode_input(locked, key_input, false));
+  const auto f1 = synth::extract_features(synth::hardcode_input(locked, key_input, true));
+  const auto v0 = f0.to_vector();
+  const auto v1 = f1.to_vector();
+  std::vector<double> diff(v0.size());
+  for (std::size_t j = 0; j < v0.size(); ++j) {
+    diff[j] = (v0[j] - v1[j]) / (0.5 * (v0[j] + v1[j]) + 1.0);
+  }
+  return diff;
+}
+
+namespace {
+
+// Solves (A + ridge*I) x = b for a small dense symmetric system via Gaussian
+// elimination with partial pivoting. A is n x n row-major.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b, std::size_t n,
+                                 double ridge) {
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += ridge;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) continue;  // singular direction: leave 0
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double d = a[col * n + col];
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a[r * n + col] / d;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a[r * n + j] -= factor * a[col * n + j];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::abs(a[i * n + i]) < 1e-12 ? 0.0 : b[i] / a[i * n + i];
+  }
+  return x;
+}
+
+std::vector<double> with_bias(std::vector<double> v) {
+  v.push_back(1.0);
+  return v;
+}
+
+}  // namespace
+
+void SweepAttack::add_training_design(const locking::LockedDesign& design) {
+  for (std::size_t i = 0; i < design.key_size(); ++i) {
+    samples_.push_back(
+        with_bias(key_bit_feature_diff(design.netlist, design.key_input_names[i])));
+    labels_.push_back(design.key[i] == 0 ? 1.0 : -1.0);
+  }
+  trained_ = false;
+}
+
+void SweepAttack::train() {
+  if (samples_.empty()) throw std::logic_error("SweepAttack::train: no training samples");
+  const std::size_t n = samples_.front().size();
+  std::vector<double> ata(n * n, 0.0);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t s = 0; s < samples_.size(); ++s) {
+    const auto& x = samples_[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      atb[i] += x[i] * labels_[s];
+      for (std::size_t j = 0; j < n; ++j) ata[i * n + j] += x[i] * x[j];
+    }
+  }
+  weights_ = solve_linear(std::move(ata), std::move(atb), n, opts_.ridge);
+  trained_ = true;
+}
+
+std::vector<double> SweepAttack::scores(const Netlist& locked) const {
+  if (!trained_) throw std::logic_error("SweepAttack: call train() first");
+  const auto keys = find_key_inputs(locked);
+  std::vector<double> scores;
+  scores.reserve(keys.size());
+  for (const KeyInput& k : keys) {
+    const auto x = with_bias(key_bit_feature_diff(locked, k.name));
+    double s = 0.0;
+    for (std::size_t j = 0; j < x.size() && j < weights_.size(); ++j) s += x[j] * weights_[j];
+    scores.push_back(s);
+  }
+  return scores;
+}
+
+std::vector<KeyBit> SweepAttack::attack(const Netlist& locked) const {
+  std::vector<KeyBit> key;
+  for (double s : scores(locked)) {
+    if (s >= opts_.margin) {
+      key.push_back(KeyBit::kZero);  // positive score: hypothesis "bit = 0"
+    } else if (s <= -opts_.margin) {
+      key.push_back(KeyBit::kOne);
+    } else {
+      key.push_back(KeyBit::kUnknown);
+    }
+  }
+  return key;
+}
+
+std::vector<KeyBit> scope_attack(const Netlist& locked, const ScopeOptions& opts) {
+  const auto keys = find_key_inputs(locked);
+  std::vector<KeyBit> key;
+  key.reserve(keys.size());
+  for (const KeyInput& k : keys) {
+    const auto diff = key_bit_feature_diff(locked, k.name);
+    // Size-type features only (gate count, area, nets, per-function counts).
+    // Switching power and depth are excluded: inverting an internal signal
+    // probability perturbs the power estimate with a random sign, which
+    // would drown the small, consistent size signal.
+    double score = 0.0;
+    for (std::size_t j = 0; j < diff.size(); ++j) {
+      if (j == 2 || j == 3) continue;  // power, depth
+      score += diff[j];
+    }
+    if (score <= -opts.epsilon) {
+      key.push_back(KeyBit::kZero);  // hard-coding 0 gave the smaller design
+    } else if (score >= opts.epsilon) {
+      key.push_back(KeyBit::kOne);
+    } else {
+      key.push_back(KeyBit::kUnknown);
+    }
+  }
+  return key;
+}
+
+}  // namespace muxlink::attacks

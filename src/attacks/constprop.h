@@ -1,0 +1,67 @@
+// SWEEP [15] and SCOPE [14]: constant-propagation attacks.
+//
+// Both hard-code each key bit to 0 and to 1, re-synthesize, and compare
+// design features between the two hypotheses. SWEEP is supervised (learns
+// per-feature weights from locked designs with known keys); SCOPE is
+// unsupervised (fixed "more simplification = correct" rule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locking/locked_design.h"
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::attacks {
+
+// Relative feature difference between hard-coding `key_input` to 0 and to 1:
+//   d_j = (f0_j - f1_j) / (0.5 * (f0_j + f1_j) + 1)
+// A negative component means hypothesis 0 produced the smaller design.
+std::vector<double> key_bit_feature_diff(const netlist::Netlist& locked,
+                                         const std::string& key_input);
+
+struct SweepOptions {
+  double margin = 0.30;   // |score| below margin -> X
+  double ridge = 1e-3;    // L2 regularization of the linear model
+};
+
+// SWEEP: linear model over feature diffs, trained on designs with known keys.
+class SweepAttack {
+ public:
+  explicit SweepAttack(const SweepOptions& opts = {}) : opts_(opts) {}
+
+  // Accumulates one training sample per key bit of the design.
+  void add_training_design(const locking::LockedDesign& design);
+
+  // Fits the ridge-regression weights. Requires at least one sample.
+  void train();
+  bool trained() const noexcept { return trained_; }
+  std::size_t num_samples() const noexcept { return labels_.size(); }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+  // Predicts each key bit of a bare locked netlist (X within the margin).
+  std::vector<locking::KeyBit> attack(const netlist::Netlist& locked) const;
+
+  // Raw per-bit scores (sign -> bit, magnitude -> confidence).
+  std::vector<double> scores(const netlist::Netlist& locked) const;
+
+ private:
+  SweepOptions opts_;
+  std::vector<std::vector<double>> samples_;
+  std::vector<double> labels_;  // +1 for key bit 0, -1 for key bit 1
+  std::vector<double> weights_;  // includes trailing bias term
+  bool trained_ = false;
+};
+
+struct ScopeOptions {
+  // Feature asymmetries below this magnitude are treated as symmetric -> X.
+  double epsilon = 1e-6;
+};
+
+// SCOPE: unsupervised. Picks the key-bit value whose hard-coding yields the
+// smaller cleaned-up design (more constant propagation = correct guess).
+std::vector<locking::KeyBit> scope_attack(const netlist::Netlist& locked,
+                                          const ScopeOptions& opts = {});
+
+}  // namespace muxlink::attacks

@@ -1,0 +1,49 @@
+// Attacker-side key tracing: everything here operates on a bare locked
+// netlist (no defender metadata), mirroring the threat model of §III — the
+// adversary traces key inputs from the tamper-proof memory and locates the
+// key gates they drive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::attacks {
+
+// Key inputs, sorted by index ("keyinput0", "keyinput1", ...). Returns gate
+// ids paired with the key-bit index parsed from the name.
+struct KeyInput {
+  int bit;
+  netlist::GateId gate;
+  std::string name;
+};
+std::vector<KeyInput> find_key_inputs(const netlist::Netlist& locked);
+
+// A key-controlled MUX as the attacker sees it.
+struct TracedMux {
+  netlist::GateId mux = netlist::kNullGate;
+  int key_bit = -1;
+  netlist::GateId input_a = netlist::kNullGate;  // selected when key = 0
+  netlist::GateId input_b = netlist::kNullGate;  // selected when key = 1
+  netlist::GateId sink = netlist::kNullGate;     // the (single) gate the MUX drives
+  std::uint32_t sink_port = 0;
+};
+// All MUX gates whose select line is a key input. Throws NetlistError if a
+// key input drives a non-select pin or a key MUX has fanout != 1 (these
+// shapes never occur under the supported schemes).
+std::vector<TracedMux> trace_key_muxes(const netlist::Netlist& locked);
+
+// Attacker-side locality classification (the grouping Algorithm 1 needs):
+//   kPaired  — two MUXes, two distinct key bits, cross-shared data inputs
+//              (S1 or S5; indistinguishable, same post-processing)
+//   kShared  — two MUXes driven by the same key bit (S4)
+//   kSingle  — a lone MUX on its key bit (S2 or S3)
+struct TracedLocality {
+  enum class Kind { kSingle, kShared, kPaired } kind = Kind::kSingle;
+  std::vector<std::size_t> muxes;  // indices into the trace_key_muxes() result
+};
+std::vector<TracedLocality> group_localities(const netlist::Netlist& locked,
+                                             const std::vector<TracedMux>& muxes);
+
+}  // namespace muxlink::attacks

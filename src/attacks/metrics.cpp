@@ -1,0 +1,66 @@
+#include "attacks/metrics.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace muxlink::attacks {
+
+double KeyPredictionScore::accuracy_percent() const noexcept {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double KeyPredictionScore::precision_percent() const noexcept {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(correct + undecided) /
+                          static_cast<double>(total);
+}
+
+double KeyPredictionScore::kpa_percent() const noexcept {
+  const std::size_t decided = total - undecided;
+  if (decided == 0) return 100.0;  // vacuously: every committed guess was correct
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(decided);
+}
+
+double KeyPredictionScore::decision_rate_percent() const noexcept {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(total - undecided) /
+                          static_cast<double>(total);
+}
+
+KeyPredictionScore& KeyPredictionScore::operator+=(const KeyPredictionScore& o) noexcept {
+  total += o.total;
+  correct += o.correct;
+  wrong += o.wrong;
+  undecided += o.undecided;
+  return *this;
+}
+
+std::string KeyPredictionScore::to_string() const {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << "AC=" << accuracy_percent() << "% PC=" << precision_percent()
+     << "% KPA=" << kpa_percent() << "% (" << correct << "/" << wrong << "/" << undecided
+     << " correct/wrong/X of " << total << ")";
+  return os.str();
+}
+
+KeyPredictionScore score_key(const std::vector<std::uint8_t>& truth,
+                             const std::vector<locking::KeyBit>& predicted) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("score_key: size mismatch");
+  }
+  KeyPredictionScore s;
+  s.total = truth.size();
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == locking::KeyBit::kUnknown) {
+      ++s.undecided;
+    } else if ((predicted[i] == locking::KeyBit::kOne) == (truth[i] != 0)) {
+      ++s.correct;
+    } else {
+      ++s.wrong;
+    }
+  }
+  return s;
+}
+
+}  // namespace muxlink::attacks

@@ -1,0 +1,36 @@
+// Attack-evaluation metrics (paper §IV):
+//   AC  = correctly deciphered bits / total bits
+//   PC  = (correct + X) / total          (an X never hurts precision)
+//   KPA = correct / (total - X)          (quality of the committed guesses)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "locking/resolve.h"
+
+namespace muxlink::attacks {
+
+struct KeyPredictionScore {
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  std::size_t wrong = 0;
+  std::size_t undecided = 0;
+
+  double accuracy_percent() const noexcept;   // AC
+  double precision_percent() const noexcept;  // PC
+  double kpa_percent() const noexcept;        // KPA (100 when nothing was committed)
+  double decision_rate_percent() const noexcept;
+
+  // Merges another score (for suite-level averages over designs).
+  KeyPredictionScore& operator+=(const KeyPredictionScore& other) noexcept;
+
+  std::string to_string() const;
+};
+
+// Compares a prediction against the ground-truth key. Sizes must match.
+KeyPredictionScore score_key(const std::vector<std::uint8_t>& truth,
+                             const std::vector<locking::KeyBit>& predicted);
+
+}  // namespace muxlink::attacks

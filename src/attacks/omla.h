@@ -1,0 +1,60 @@
+// OMLA-like attack [7]: an oracle-less GNN attack that classifies the key
+// bit of each X(N)OR key gate from the enclosing subgraph around the key
+// gate itself (graph classification, not link prediction).
+//
+// Context for the paper: OMLA breaks conventional X(N)OR locking by
+// learning the structure around key gates, but MUX-based learning-resilient
+// locking leaves no key-correlated residue — every key gate is an identical
+// MUX with equiprobable arms — which is why the paper moves to link
+// prediction. bench_omla shows the contrast on our substrate: ~100% on XOR
+// locking, chance on TRLL (whose insertion shapes are balanced) and on the
+// MUX schemes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gnn/dgcnn.h"
+#include "gnn/trainer.h"
+#include "locking/locked_design.h"
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::attacks {
+
+struct OmlaOptions {
+  int hops = 2;              // subgraph radius around the key gate
+  double margin = 0.1;       // |P(1) - 0.5| below this -> X
+  std::size_t max_subgraph_nodes = 0;
+  // DGCNN budget (smaller than MuxLink's: one subgraph per key bit).
+  double learning_rate = 1e-3;
+  double dropout = 0.5;
+  int epochs = 60;
+  int batch_size = 32;
+  std::uint64_t seed = 1;
+};
+
+class OmlaAttack {
+ public:
+  explicit OmlaAttack(const OmlaOptions& opts = {});
+  ~OmlaAttack();
+  OmlaAttack(OmlaAttack&&) noexcept;
+  OmlaAttack& operator=(OmlaAttack&&) noexcept;
+
+  // One sample per key bit: the subgraph around its key gate, labeled with
+  // the known key value.
+  void add_training_design(const locking::LockedDesign& design);
+  gnn::TrainReport train();
+  bool trained() const noexcept;
+
+  std::vector<locking::KeyBit> attack(const netlist::Netlist& locked) const;
+
+  std::size_t num_samples() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace muxlink::attacks

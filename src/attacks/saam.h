@@ -1,0 +1,22 @@
+// SAAM: structural analysis attack on MUX-based locking [10].
+//
+// For each key MUX, if de-selecting one data input would leave its driver
+// with no remaining load (circuit reduction), the correct key cannot
+// de-select it — so that input must be the true wire. Naive MUX locking is
+// riddled with such cases; D-MUX and symmetric locking are immune by
+// construction (every driver keeps a load under either choice).
+#pragma once
+
+#include <vector>
+
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::attacks {
+
+// Returns one KeyBit per key input (X when the MUX is reduction-free both
+// ways). Operates on the bare locked netlist. For key bits driving two
+// MUXes (S4 shape) the per-MUX verdicts are combined; a conflict yields X.
+std::vector<locking::KeyBit> saam_attack(const netlist::Netlist& locked);
+
+}  // namespace muxlink::attacks

@@ -1,0 +1,46 @@
+// Oracle-guided SAT attack on logic locking (Subramanyan et al. [2]).
+//
+// The contrasting threat model of the paper's §I: given the locked netlist
+// AND a working chip (oracle), iteratively find distinguishing input
+// patterns (inputs on which two candidate keys disagree), query the oracle,
+// and constrain both key copies until no distinguishing input remains; any
+// remaining key is functionally correct.
+//
+// MUX-based locking has no SAT resilience — the attack needs only a handful
+// of iterations (bench_sat) — which is precisely why the defense papers and
+// MuxLink target the oracle-LESS model where this attack is impossible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::attacks {
+
+// The oracle: input bits (in the locked design's non-key input order,
+// matched by name against the original) -> output bits (outputs() order).
+using Oracle = std::function<std::vector<bool>(const std::vector<bool>&)>;
+
+struct SatAttackOptions {
+  std::size_t max_iterations = 4096;
+  std::int64_t conflict_budget = -1;  // per solver call; -1 = unlimited
+};
+
+struct SatAttackResult {
+  bool success = false;                 // UNSAT reached (key proven correct)
+  std::vector<locking::KeyBit> key;     // functionally correct key when success
+  std::size_t iterations = 0;           // distinguishing patterns used
+  std::int64_t conflicts = 0;           // total SAT conflicts
+};
+
+// Runs the attack on a bare locked netlist with the given oracle.
+SatAttackResult sat_attack(const netlist::Netlist& locked, const Oracle& oracle,
+                           const SatAttackOptions& opts = {});
+
+// Convenience oracle backed by the original netlist (simulation).
+Oracle make_simulation_oracle(const netlist::Netlist& original, const netlist::Netlist& locked);
+
+}  // namespace muxlink::attacks

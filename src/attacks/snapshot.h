@@ -1,0 +1,64 @@
+// SnapShot-like neural baseline [5]: predicts each key bit from a
+// fixed-length "locality vector" extracted around its key gate (truncated
+// fanin/fanout trees of gate-type codes) with a small MLP, trained on locked
+// designs with known keys (the generalized set scenario).
+//
+// This is the attack family D-MUX was engineered to defeat: the D-MUX paper
+// shows SnapShot pinned at ~50% KPA on D-MUX-locked designs while it
+// comfortably breaks XOR locking. The same contrast reproduces here
+// (bench_snapshot), motivating why MuxLink attacks the *links* instead of
+// the key-gate locality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gnn/mlp.h"
+#include "locking/locked_design.h"
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::attacks {
+
+struct SnapshotOptions {
+  int fanin_depth = 3;   // truncated-tree depth toward the inputs
+  int fanout_depth = 2;  // and toward the outputs
+  int branch = 2;        // children kept per node
+  gnn::MlpConfig mlp{.hidden = {64, 32}, .learning_rate = 5e-3, .seed = 1};
+  gnn::MlpTrainOptions training{.epochs = 150, .batch_size = 32, .seed = 1};
+  // |P(1) - 0.5| below this margin -> X.
+  double margin = 0.1;
+};
+
+// Fixed-length locality encoding of the key gate driven by `key_input_gate`.
+// Slot values are gate-type codes in [0, 1] (0 = absent).
+std::vector<double> locality_vector(const netlist::Netlist& nl, netlist::GateId key_gate,
+                                    const SnapshotOptions& opts);
+
+class SnapshotAttack {
+ public:
+  explicit SnapshotAttack(const SnapshotOptions& opts = {});
+
+  // One training sample per key bit of the design.
+  void add_training_design(const locking::LockedDesign& design);
+  gnn::MlpTrainReport train();
+  bool trained() const noexcept { return model_ != nullptr; }
+
+  // Predicts every key bit of a bare locked netlist.
+  std::vector<locking::KeyBit> attack(const netlist::Netlist& locked) const;
+
+  std::size_t num_samples() const noexcept { return samples_.size(); }
+
+ private:
+  // The key gate fed by a key input (throws if the key input drives more
+  // than one gate of different shapes; S4-style shared bits use the first).
+  static std::vector<netlist::GateId> key_gates_of(const netlist::Netlist& nl);
+
+  SnapshotOptions opts_;
+  std::vector<gnn::MlpSample> samples_;
+  std::unique_ptr<gnn::Mlp> model_;
+  int input_dim_ = 0;
+};
+
+}  // namespace muxlink::attacks

@@ -1,0 +1,72 @@
+// Synthetic combinational circuit generator.
+//
+// Substitution note (see DESIGN.md §2): the original ISCAS-85 / ITC-99 BENCH
+// files are not redistributable inside this repository, so experiments run on
+// seeded synthetic circuits that match each benchmark's published interface
+// (PI/PO counts), gate count, gate-type mix, and a realistic fanout/locality
+// profile. MuxLink and the baseline attacks consume only structure (gate
+// types + connectivity), which the generator reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::circuitgen {
+
+// Relative gate-type sampling weights (need not sum to 1).
+struct GateMix {
+  double and_w = 1.0;
+  double nand_w = 1.0;
+  double or_w = 1.0;
+  double nor_w = 1.0;
+  double xor_w = 0.2;
+  double xnor_w = 0.1;
+  double not_w = 0.8;
+  double buf_w = 0.1;
+};
+
+struct CircuitSpec {
+  std::string name = "synth";
+  std::size_t num_inputs = 8;
+  std::size_t num_outputs = 4;
+  std::size_t num_gates = 100;  // logic gates, excluding primary inputs
+  std::uint64_t seed = 1;
+  GateMix mix;
+  // Probability that a fanin is drawn from the recent window (creates depth
+  // and locality); the rest are drawn uniformly (creates reconvergence and
+  // multi-fanout hubs). Real netlists are strongly local — random gate
+  // pairs sit far apart in the connectivity graph — so the default keeps
+  // global shortcuts rare (this is what makes decoy wires structurally
+  // implausible, the property the MuxLink attack feeds on).
+  double locality = 0.95;
+  // 0 = automatic: max(12, num_gates / 50) clamped to 64.
+  std::size_t locality_window = 0;
+  // Probability that a 2+-input gate gets a third input.
+  double wide_gate_prob = 0.08;
+
+  // Motif stamping: real netlists are stitched from repeated synthesized
+  // operators (adder slices, comparators, decoders). A per-circuit library
+  // of `num_motifs` random templates is stamped for `motif_fraction` of the
+  // gate budget, giving the repeated local substructure and reconvergent
+  // fanout that structural analyses (and link prediction) feed on.
+  double motif_fraction = 0.6;
+  int num_motifs = 5;
+  int motif_size_min = 4;
+  int motif_size_max = 9;
+};
+
+// Generates a random acyclic netlist satisfying the spec:
+//  * exactly spec.num_inputs PIs and ~spec.num_gates logic gates
+//    (collector gates may add a few percent to absorb dangling outputs);
+//  * exactly spec.num_outputs POs when achievable (always >= 1);
+//  * every gate structurally reaches a primary output;
+//  * deterministic for a fixed spec (same seed -> identical netlist).
+netlist::Netlist generate(const CircuitSpec& spec);
+
+// Deterministic single-type variant used by the ANT (AND netlist test) of
+// [10]: same topology policy but every multi-input gate is `type`.
+netlist::Netlist generate_single_type(const CircuitSpec& spec, netlist::GateType type);
+
+}  // namespace muxlink::circuitgen

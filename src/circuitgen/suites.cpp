@@ -1,0 +1,130 @@
+#include "circuitgen/suites.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/bench_io.h"
+
+namespace muxlink::circuitgen {
+
+using netlist::Netlist;
+
+namespace {
+
+// Published interface/size characteristics (PIs, POs, gates).
+const std::vector<BenchmarkInfo> kIscas85 = {
+    {"c17", 5, 2, 6},        {"c432", 36, 7, 160},    {"c499", 41, 32, 202},
+    {"c880", 60, 26, 383},   {"c1355", 41, 32, 546},  {"c1908", 33, 25, 880},
+    {"c2670", 233, 140, 1193}, {"c3540", 50, 22, 1669}, {"c5315", 178, 123, 2307},
+    {"c6288", 32, 32, 2416}, {"c7552", 207, 108, 3512},
+};
+
+const std::vector<BenchmarkInfo> kItc99 = {
+    {"b14_C", 277, 299, 9767},   {"b15_C", 485, 519, 8367},  {"b17_C", 1452, 1512, 30777},
+    {"b20_C", 522, 512, 19682},  {"b21_C", 522, 512, 20027}, {"b22_C", 767, 757, 29162},
+};
+
+// Per-benchmark gate mixes: rough caricatures of the real circuits (c499 and
+// c1355 are XOR-rich ECC circuits, c6288 is an AND/NOR multiplier array,
+// ITC-99 synthesized logic is NAND/NOR/inverter-heavy).
+GateMix mix_for(const std::string& name) {
+  GateMix m;
+  if (name == "c432") {
+    m = {.and_w = 0.5, .nand_w = 3.0, .or_w = 0.3, .nor_w = 1.5, .xor_w = 0.4,
+         .xnor_w = 0.0, .not_w = 1.2, .buf_w = 0.2};
+  } else if (name == "c499" || name == "c1355") {
+    m = {.and_w = 2.0, .nand_w = 0.5, .or_w = 0.5, .nor_w = 0.3, .xor_w = 2.5,
+         .xnor_w = 0.3, .not_w = 0.6, .buf_w = 0.3};
+  } else if (name == "c880") {
+    m = {.and_w = 2.0, .nand_w = 1.5, .or_w = 1.0, .nor_w = 0.6, .xor_w = 0.3,
+         .xnor_w = 0.1, .not_w = 0.8, .buf_w = 0.3};
+  } else if (name == "c1908") {
+    m = {.and_w = 1.2, .nand_w = 2.5, .or_w = 0.4, .nor_w = 0.6, .xor_w = 0.8,
+         .xnor_w = 0.2, .not_w = 1.4, .buf_w = 0.4};
+  } else if (name == "c2670") {
+    m = {.and_w = 2.2, .nand_w = 1.6, .or_w = 0.8, .nor_w = 0.6, .xor_w = 0.3,
+         .xnor_w = 0.2, .not_w = 1.0, .buf_w = 0.6};
+  } else if (name == "c3540") {
+    m = {.and_w = 2.0, .nand_w = 1.8, .or_w = 0.7, .nor_w = 0.8, .xor_w = 0.5,
+         .xnor_w = 0.2, .not_w = 1.3, .buf_w = 0.4};
+  } else if (name == "c5315") {
+    m = {.and_w = 2.3, .nand_w = 1.4, .or_w = 1.0, .nor_w = 0.5, .xor_w = 0.3,
+         .xnor_w = 0.1, .not_w = 1.2, .buf_w = 0.5};
+  } else if (name == "c6288") {
+    m = {.and_w = 3.0, .nand_w = 0.3, .or_w = 0.2, .nor_w = 2.8, .xor_w = 0.6,
+         .xnor_w = 0.1, .not_w = 0.2, .buf_w = 0.1};
+  } else if (name == "c7552") {
+    m = {.and_w = 2.0, .nand_w = 1.6, .or_w = 0.8, .nor_w = 0.7, .xor_w = 0.6,
+         .xnor_w = 0.2, .not_w = 1.2, .buf_w = 0.5};
+  } else if (name.starts_with("b")) {
+    m = {.and_w = 1.8, .nand_w = 2.2, .or_w = 0.9, .nor_w = 1.4, .xor_w = 0.3,
+         .xnor_w = 0.2, .not_w = 1.8, .buf_w = 0.6};
+  }
+  return m;
+}
+
+// Stable per-name seed so every run regenerates identical "benchmarks".
+std::uint64_t seed_for(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+const BenchmarkInfo* find_info(const std::string& name) {
+  for (const auto* suite : {&kIscas85, &kItc99}) {
+    const auto it = std::find_if(suite->begin(), suite->end(),
+                                 [&](const BenchmarkInfo& b) { return b.name == name; });
+    if (it != suite->end()) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& iscas85_suite() { return kIscas85; }
+const std::vector<BenchmarkInfo>& itc99_suite() { return kItc99; }
+
+bool is_known_benchmark(const std::string& name) { return find_info(name) != nullptr; }
+
+Netlist make_c17() {
+  return netlist::parse_bench(R"(# c17 ISCAS-85 (genuine)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)", "c17");
+}
+
+Netlist make_benchmark(const std::string& name, double scale) {
+  const BenchmarkInfo* info = find_info(name);
+  if (info == nullptr) throw std::invalid_argument("unknown benchmark '" + name + "'");
+  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("scale must be in (0, 1]");
+  if (name == "c17") return make_c17();
+
+  auto scaled = [&](std::size_t x, std::size_t floor_v) {
+    return std::max<std::size_t>(floor_v, static_cast<std::size_t>(std::lround(x * scale)));
+  };
+  CircuitSpec spec;
+  spec.name = name;
+  spec.num_inputs = scaled(info->num_inputs, 8);
+  spec.num_outputs = scaled(info->num_outputs, 2);
+  spec.num_gates = scaled(info->num_gates, 40);
+  spec.seed = seed_for(name);
+  spec.mix = mix_for(name);
+  return generate(spec);
+}
+
+}  // namespace muxlink::circuitgen

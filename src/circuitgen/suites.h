@@ -1,0 +1,42 @@
+// Named benchmark suites mirroring the circuits the paper evaluates.
+//
+// Interface and size parameters follow the published ISCAS-85 / ITC-99
+// ("_C" = combinational counterpart) characteristics; content is synthetic
+// (see generator.h). `scale` < 1 shrinks gate/IO counts proportionally for
+// CPU-budgeted runs — benches report the scale they used.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuitgen/generator.h"
+
+namespace muxlink::circuitgen {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::size_t num_inputs;
+  std::size_t num_outputs;
+  std::size_t num_gates;
+};
+
+// Published characteristics for the ISCAS-85 suite (c17 .. c7552).
+const std::vector<BenchmarkInfo>& iscas85_suite();
+
+// Published characteristics for the combinational ITC-99 subset the paper
+// uses (b14_C .. b22_C).
+const std::vector<BenchmarkInfo>& itc99_suite();
+
+// True if `name` belongs to either suite.
+bool is_known_benchmark(const std::string& name);
+
+// Builds the named benchmark at the given scale (default full size).
+// `c17` returns the genuine ISCAS-85 netlist; all others are synthetic with
+// a per-name deterministic seed and gate mix. Throws std::invalid_argument
+// for unknown names.
+netlist::Netlist make_benchmark(const std::string& name, double scale = 1.0);
+
+// The genuine ISCAS-85 c17 netlist (golden reference).
+netlist::Netlist make_c17();
+
+}  // namespace muxlink::circuitgen

@@ -1,0 +1,75 @@
+#include "eval/protocol.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace muxlink::eval {
+
+core::MuxLinkOptions Protocol::attack_options(std::uint64_t seed) const {
+  core::MuxLinkOptions opts;
+  opts.epochs = epochs;
+  opts.learning_rate = learning_rate;
+  opts.max_train_links = max_train_links;
+  opts.seed = seed;
+  return opts;
+}
+
+Protocol load_protocol() {
+  Protocol p;
+  const char* full = std::getenv("MUXLINK_FULL");
+  p.full = full != nullptr && std::string(full) == "1";
+  if (p.full) {
+    // Paper protocol (§IV): ISCAS-85 at K ∈ {64,128,256} (c1355 cannot fit
+    // 256), ITC-99 at K ∈ {256,512}; 100 epochs at lr 1e-4; 100k links.
+    p.epochs = 100;
+    p.learning_rate = 1e-4;
+    p.max_train_links = 100000;
+    for (const char* name : {"c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540",
+                             "c5315", "c6288", "c7552"}) {
+      Protocol::CircuitRun run{name, 1.0, {64, 128, 256}};
+      if (std::string(name) == "c1355" || std::string(name) == "c432" ||
+          std::string(name) == "c499") {
+        run.key_sizes = {64, 128};  // too small for K=256 locality-disjoint locking
+      }
+      p.iscas.push_back(run);
+    }
+    for (const char* name : {"b14_C", "b15_C", "b17_C", "b20_C", "b21_C", "b22_C"}) {
+      p.itc.push_back({name, 1.0, {256, 512}});
+    }
+  } else {
+    // Scaled protocol: representative size ladder, single key size each,
+    // reduced ITC-99 proxies. Sized so the whole bench/ directory finishes
+    // in tens of minutes on one core.
+    p.epochs = 30;
+    p.learning_rate = 1e-3;
+    p.max_train_links = 2000;
+    p.iscas = {
+        {"c432", 1.0, {32}},
+        {"c880", 1.0, {64}},
+        {"c1908", 1.0, {64}},
+    };
+    p.itc = {
+        {"b14_C", 0.15, {64}},  // ~1.5k gates
+    };
+  }
+  return p;
+}
+
+RunOutcome lock_and_attack(const netlist::Netlist& nl, const std::string& scheme,
+                           std::size_t key_bits, const core::MuxLinkOptions& attack_opts,
+                           std::uint64_t lock_seed) {
+  locking::MuxLockOptions lo;
+  lo.key_bits = key_bits;
+  lo.seed = lock_seed;
+  lo.allow_partial = true;
+  locking::LockedDesign design =
+      scheme == "dmux"        ? locking::lock_dmux(nl, lo)
+      : scheme == "symmetric" ? locking::lock_symmetric(nl, lo)
+                              : throw std::invalid_argument("unknown scheme " + scheme);
+  core::MuxLinkAttack attack(attack_opts);
+  core::MuxLinkResult result = attack.run(design.netlist);
+  attacks::KeyPredictionScore score = attacks::score_key(design.key, result.key);
+  return RunOutcome{std::move(design), std::move(result), score};
+}
+
+}  // namespace muxlink::eval

@@ -1,0 +1,58 @@
+// Shared experiment protocol for the figure-reproduction harnesses.
+//
+// Two modes:
+//   * scaled (default): sized for a single-core CPU box — a subset of the
+//     circuits at reduced key sizes and training budgets;
+//   * full (MUXLINK_FULL=1): the paper protocol — every circuit, paper key
+//     sizes, 100 epochs, 100k-link cap.
+// Every bench prints which mode produced its numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/metrics.h"
+#include "locking/mux_lock.h"
+#include "muxlink/attack.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::eval {
+
+struct Protocol {
+  bool full = false;
+
+  // Circuits + key sizes for the MuxLink experiments (Figs. 7-10).
+  struct CircuitRun {
+    std::string name;
+    double scale;                  // circuitgen scale factor
+    std::vector<std::size_t> key_sizes;
+  };
+  std::vector<CircuitRun> iscas;
+  std::vector<CircuitRun> itc;
+
+  // GNN budget.
+  int epochs = 30;
+  double learning_rate = 1e-3;
+  std::size_t max_train_links = 2000;
+  std::size_t hd_patterns = 100000;
+
+  core::MuxLinkOptions attack_options(std::uint64_t seed = 1) const;
+  std::string mode_name() const { return full ? "full (MUXLINK_FULL=1)" : "scaled"; }
+};
+
+// Reads MUXLINK_FULL from the environment and assembles the protocol.
+Protocol load_protocol();
+
+// One attack run: lock `nl` with `scheme` ("dmux" or "symmetric"), run
+// MuxLink, and score against the ground truth.
+struct RunOutcome {
+  locking::LockedDesign design;
+  core::MuxLinkResult result;
+  attacks::KeyPredictionScore score;
+};
+RunOutcome lock_and_attack(const netlist::Netlist& nl, const std::string& scheme,
+                           std::size_t key_bits, const core::MuxLinkOptions& attack_opts,
+                           std::uint64_t lock_seed = 11);
+
+}  // namespace muxlink::eval

@@ -1,0 +1,71 @@
+#include "eval/resilience_tests.h"
+
+#include <random>
+
+#include "attacks/metrics.h"
+#include "attacks/snapshot.h"
+#include "circuitgen/generator.h"
+
+namespace muxlink::eval {
+
+namespace {
+
+// Forced KPA: X predictions resolved by a seeded coin, so an attacker that
+// refuses to guess still lands at ~50% instead of a vacuous 100%.
+double forced_kpa(const locking::LockedDesign& d, std::vector<locking::KeyBit> key,
+                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (auto& b : key) {
+    if (b == locking::KeyBit::kUnknown) {
+      b = (rng() & 1) != 0 ? locking::KeyBit::kOne : locking::KeyBit::kZero;
+    }
+  }
+  return attacks::score_key(d.key, key).kpa_percent();
+}
+
+double run_one_test(const Locker& locker, const ResilienceTestOptions& opts, bool and_only) {
+  auto make_circuit = [&](std::uint64_t seed) {
+    circuitgen::CircuitSpec spec;
+    spec.name = and_only ? "ant" : "rnt";
+    spec.num_gates = opts.circuit_gates;
+    spec.num_inputs = 16;
+    spec.num_outputs = 8;
+    spec.seed = seed;
+    return and_only ? circuitgen::generate_single_type(spec, netlist::GateType::kAnd)
+                    : circuitgen::generate(spec);
+  };
+
+  attacks::SnapshotOptions sopts;
+  sopts.training.epochs = 40;
+  attacks::SnapshotAttack attack(sopts);
+  locking::MuxLockOptions lo;
+  lo.key_bits = opts.key_bits;
+  lo.allow_partial = true;
+  for (int t = 0; t < opts.train_designs; ++t) {
+    lo.seed = opts.seed + 100 + t;
+    attack.add_training_design(locker(make_circuit(opts.seed + t), lo));
+  }
+  attack.train();
+
+  double kpa = 0.0;
+  for (int t = 0; t < opts.test_designs; ++t) {
+    lo.seed = opts.seed + 500 + t;
+    const auto victim = locker(make_circuit(opts.seed + 50 + t), lo);
+    kpa += forced_kpa(victim, attack.attack(victim.netlist), opts.seed + t);
+  }
+  return kpa / opts.test_designs;
+}
+
+}  // namespace
+
+ResilienceTestResult run_learning_resilience_tests(const Locker& locker,
+                                                   const ResilienceTestOptions& opts) {
+  ResilienceTestResult r;
+  r.ant_forced_kpa = run_one_test(locker, opts, /*and_only=*/true);
+  r.rnt_forced_kpa = run_one_test(locker, opts, /*and_only=*/false);
+  r.passes_ant = std::abs(r.ant_forced_kpa - 50.0) <= opts.chance_band;
+  r.passes_rnt = std::abs(r.rnt_forced_kpa - 50.0) <= opts.chance_band;
+  return r;
+}
+
+}  // namespace muxlink::eval

@@ -1,0 +1,45 @@
+// ANT / RNT learning-resilience tests (paper §II-A, proposed in [10]).
+//
+// A locking scheme is run on (a) designs synthesized from a single gate type
+// (ANT: AND netlist test) and (b) designs with well-distributed random gates
+// (RNT: random netlist test). A structural learning attack (the
+// SnapShot-like baseline) is trained on locked copies and evaluated on held-
+// out lockings. A scheme that lets the attacker's forced KPA escape the
+// coin-flip band on either test is conclusively vulnerable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "locking/locked_design.h"
+#include "locking/mux_lock.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::eval {
+
+using Locker =
+    std::function<locking::LockedDesign(const netlist::Netlist&, const locking::MuxLockOptions&)>;
+
+struct ResilienceTestOptions {
+  std::size_t key_bits = 32;
+  std::size_t circuit_gates = 250;
+  int train_designs = 8;
+  int test_designs = 4;
+  std::uint64_t seed = 1;
+  // Forced KPA within 50% ± band passes.
+  double chance_band = 12.0;
+};
+
+struct ResilienceTestResult {
+  double ant_forced_kpa = 0.0;
+  double rnt_forced_kpa = 0.0;
+  bool passes_ant = false;
+  bool passes_rnt = false;
+  bool learning_resilient() const { return passes_ant && passes_rnt; }
+};
+
+ResilienceTestResult run_learning_resilience_tests(const Locker& locker,
+                                                   const ResilienceTestOptions& opts = {});
+
+}  // namespace muxlink::eval

@@ -1,0 +1,81 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace muxlink::eval {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::pct(double value, int precision) { return num(value, precision) + "%"; }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto cell = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    return quoted + "\"";
+  };
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) os << (i ? "," : "") << cell(cells[i]);
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n\n";
+}
+
+}  // namespace muxlink::eval

@@ -1,0 +1,34 @@
+// Fixed-width console tables for the figure-reproduction harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace muxlink::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double value, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines); for
+  // piping bench output into plotting scripts.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner, e.g. "== Fig. 7: ... ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace muxlink::eval

@@ -1,0 +1,429 @@
+#include "gnn/dgcnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace muxlink::gnn {
+
+namespace {
+
+// out = D^-1 (A+I) H  with row-normalization over {i} ∪ N(i).
+void propagate(const std::vector<std::vector<int>>& nbr, const Matrix& h, Matrix& out) {
+  out = Matrix(h.rows, h.cols);
+  for (int i = 0; i < h.rows; ++i) {
+    double* oi = out.row(i);
+    const double* hi = h.row(i);
+    for (int c = 0; c < h.cols; ++c) oi[c] = hi[c];
+    for (int j : nbr[i]) {
+      const double* hj = h.row(j);
+      for (int c = 0; c < h.cols; ++c) oi[c] += hj[c];
+    }
+    const double inv = 1.0 / (1.0 + static_cast<double>(nbr[i].size()));
+    for (int c = 0; c < h.cols; ++c) oi[c] *= inv;
+  }
+}
+
+// out = (D^-1 (A+I))^T G: column j gathers inv_deg(i) * G_i over i ∈ {j} ∪ N(j)
+// (adjacency is symmetric, so N is its own transpose).
+void propagate_transpose(const std::vector<std::vector<int>>& nbr, const Matrix& g, Matrix& out) {
+  out = Matrix(g.rows, g.cols);
+  std::vector<double> inv(g.rows);
+  for (int i = 0; i < g.rows; ++i) inv[i] = 1.0 / (1.0 + static_cast<double>(nbr[i].size()));
+  for (int j = 0; j < g.rows; ++j) {
+    double* oj = out.row(j);
+    const double* gj = g.row(j);
+    for (int c = 0; c < g.cols; ++c) oj[c] = inv[j] * gj[c];
+    for (int i : nbr[j]) {
+      const double* gi = g.row(i);
+      for (int c = 0; c < g.cols; ++c) oj[c] += inv[i] * gi[c];
+    }
+  }
+}
+
+}  // namespace
+
+struct Dgcnn::Workspace {
+  std::vector<Matrix> u;  // per conv layer: P * Z_{l-1}
+  std::vector<Matrix> h;  // per conv layer: tanh output
+  std::vector<int> order;  // selected global rows after SortPooling
+  Matrix s;                // k × cat_dim
+  Matrix c1;               // k × ch1 (post-ReLU)
+  Matrix m;                // pooled_len × ch1
+  std::vector<int> argmax;  // pooled_len * ch1 source frame indices
+  Matrix c2;               // conv2_len × ch2 (post-ReLU)
+  std::vector<double> f;   // flattened c2
+  std::vector<double> hid;  // dense_units (post-ReLU, post-dropout)
+  std::vector<double> mask;  // dropout mask (scaled)
+  double prob1 = 0.0;        // softmax P(label=1)
+};
+
+int choose_sortpool_k(std::vector<int> sizes, double fraction) {
+  if (sizes.empty()) return 10;
+  std::sort(sizes.begin(), sizes.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sizes.size()) - 1.0,
+                       fraction * static_cast<double>(sizes.size())));
+  return std::max(10, sizes[idx]);
+}
+
+Dgcnn::Dgcnn(int feature_dim, const DgcnnConfig& config)
+    : cfg_(config), feature_dim_(feature_dim), rng_(config.seed) {
+  if (cfg_.conv_channels.empty()) throw std::invalid_argument("Dgcnn: need conv layers");
+  if (cfg_.sortpool_k < 2) throw std::invalid_argument("Dgcnn: sortpool_k too small");
+  cat_dim_ = std::accumulate(cfg_.conv_channels.begin(), cfg_.conv_channels.end(), 0);
+  pooled_len_ = cfg_.sortpool_k / 2;
+  conv2_len_ = pooled_len_ - cfg_.conv1d_kernel2 + 1;
+  if (conv2_len_ < 1) {
+    throw std::invalid_argument("Dgcnn: sortpool_k too small for the 1-D conv stack");
+  }
+
+  auto add_param = [&](int rows, int cols, bool init) {
+    Matrix m(rows, cols);
+    if (init) m.glorot(rng_);
+    params_.push_back(std::move(m));
+    grads_.emplace_back(rows, cols);
+    adam_m_.emplace_back(rows, cols);
+    adam_v_.emplace_back(rows, cols);
+    return static_cast<int>(params_.size()) - 1;
+  };
+
+  int in_dim = feature_dim_;
+  for (int c : cfg_.conv_channels) {
+    w_conv_.push_back(add_param(in_dim, c, true));
+    in_dim = c;
+  }
+  k1_ = add_param(cfg_.conv1d_channels1, cat_dim_, true);
+  b1_ = add_param(1, cfg_.conv1d_channels1, false);
+  k2_ = add_param(cfg_.conv1d_channels2, cfg_.conv1d_channels1 * cfg_.conv1d_kernel2, true);
+  b2_ = add_param(1, cfg_.conv1d_channels2, false);
+  w5_ = add_param(cfg_.dense_units, conv2_len_ * cfg_.conv1d_channels2, true);
+  b5_ = add_param(1, cfg_.dense_units, false);
+  w6_ = add_param(2, cfg_.dense_units, true);
+  b6_ = add_param(1, 2, false);
+}
+
+double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace& ws) {
+  if (g.x.cols != feature_dim_) throw std::invalid_argument("Dgcnn: feature dim mismatch");
+  const int n = g.x.rows;
+  const int L = static_cast<int>(cfg_.conv_channels.size());
+
+  // Graph convolutions.
+  ws.u.assign(L, {});
+  ws.h.assign(L, {});
+  const Matrix* z = &g.x;
+  for (int l = 0; l < L; ++l) {
+    propagate(g.nbr, *z, ws.u[l]);
+    Matrix v;
+    matmul(ws.u[l], params_[w_conv_[l]], v);
+    for (double& x : v.data) x = std::tanh(x);
+    ws.h[l] = std::move(v);
+    z = &ws.h[l];
+  }
+
+  // SortPooling: order by the last (1-channel) layer, descending.
+  const Matrix& last = ws.h[L - 1];
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double va = last.at(a, last.cols - 1);
+    const double vb = last.at(b, last.cols - 1);
+    return va != vb ? va > vb : a < b;
+  });
+  const int k = cfg_.sortpool_k;
+  const int kept = std::min(k, n);
+  order.resize(kept);
+  ws.order = order;
+
+  ws.s = Matrix(k, cat_dim_);
+  for (int t = 0; t < kept; ++t) {
+    int off = 0;
+    for (int l = 0; l < L; ++l) {
+      const double* hr = ws.h[l].row(order[t]);
+      for (int c = 0; c < ws.h[l].cols; ++c) ws.s.at(t, off + c) = hr[c];
+      off += ws.h[l].cols;
+    }
+  }
+
+  // 1-D conv #1: per-frame dense over the cat_dim-wide rows.
+  const Matrix& kk1 = params_[k1_];
+  const Matrix& bb1 = params_[b1_];
+  ws.c1 = Matrix(k, cfg_.conv1d_channels1);
+  for (int t = 0; t < k; ++t) {
+    for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
+      double acc = bb1.at(0, c);
+      const double* w = kk1.row(c);
+      const double* sr = ws.s.row(t);
+      for (int j = 0; j < cat_dim_; ++j) acc += w[j] * sr[j];
+      ws.c1.at(t, c) = acc > 0.0 ? acc : 0.0;
+    }
+  }
+
+  // Max-pool (size 2, stride 2).
+  ws.m = Matrix(pooled_len_, cfg_.conv1d_channels1);
+  ws.argmax.assign(static_cast<std::size_t>(pooled_len_) * cfg_.conv1d_channels1, 0);
+  for (int t = 0; t < pooled_len_; ++t) {
+    for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
+      const double a = ws.c1.at(2 * t, c);
+      const double b = ws.c1.at(2 * t + 1, c);
+      const int src = a >= b ? 2 * t : 2 * t + 1;
+      ws.m.at(t, c) = a >= b ? a : b;
+      ws.argmax[static_cast<std::size_t>(t) * cfg_.conv1d_channels1 + c] = src;
+    }
+  }
+
+  // 1-D conv #2 (kernel over frames).
+  const Matrix& kk2 = params_[k2_];
+  const Matrix& bb2 = params_[b2_];
+  ws.c2 = Matrix(conv2_len_, cfg_.conv1d_channels2);
+  for (int t = 0; t < conv2_len_; ++t) {
+    for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
+      double acc = bb2.at(0, c);
+      const double* w = kk2.row(c);
+      int wi = 0;
+      for (int dt = 0; dt < cfg_.conv1d_kernel2; ++dt) {
+        const double* mr = ws.m.row(t + dt);
+        for (int ic = 0; ic < cfg_.conv1d_channels1; ++ic) acc += w[wi++] * mr[ic];
+      }
+      ws.c2.at(t, c) = acc > 0.0 ? acc : 0.0;
+    }
+  }
+
+  // Flatten + dense 128 + ReLU + dropout.
+  ws.f.assign(ws.c2.data.begin(), ws.c2.data.end());
+  const Matrix& ww5 = params_[w5_];
+  const Matrix& bb5 = params_[b5_];
+  ws.hid.assign(cfg_.dense_units, 0.0);
+  ws.mask.assign(cfg_.dense_units, 1.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int u = 0; u < cfg_.dense_units; ++u) {
+    double acc = bb5.at(0, u);
+    const double* w = ww5.row(u);
+    for (std::size_t j = 0; j < ws.f.size(); ++j) acc += w[j] * ws.f[j];
+    acc = acc > 0.0 ? acc : 0.0;
+    if (training && cfg_.dropout > 0.0) {
+      if (unit(rng_) < cfg_.dropout) {
+        ws.mask[u] = 0.0;
+        acc = 0.0;
+      } else {
+        ws.mask[u] = 1.0 / (1.0 - cfg_.dropout);
+        acc *= ws.mask[u];
+      }
+    }
+    ws.hid[u] = acc;
+  }
+
+  // Dense 2 + softmax.
+  const Matrix& ww6 = params_[w6_];
+  const Matrix& bb6 = params_[b6_];
+  double logits[2];
+  for (int c = 0; c < 2; ++c) {
+    double acc = bb6.at(0, c);
+    const double* w = ww6.row(c);
+    for (int u = 0; u < cfg_.dense_units; ++u) acc += w[u] * ws.hid[u];
+    logits[c] = acc;
+  }
+  const double mx = std::max(logits[0], logits[1]);
+  const double e0 = std::exp(logits[0] - mx);
+  const double e1 = std::exp(logits[1] - mx);
+  ws.prob1 = e1 / (e0 + e1);
+  if (!keep) {
+    ws.u.clear();
+    ws.h.clear();
+  }
+  return ws.prob1;
+}
+
+double Dgcnn::predict(const GraphSample& g, bool training) {
+  Workspace ws;
+  return forward(g, training, /*keep=*/false, ws);
+}
+
+double Dgcnn::accumulate_gradients(const GraphSample& g) {
+  Workspace ws;
+  const double p1 = forward(g, /*training=*/true, /*keep=*/true, ws);
+  backward(g, ws);
+  const double p_true = g.label == 1 ? p1 : 1.0 - p1;
+  return -std::log(std::max(p_true, 1e-12));
+}
+
+void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
+  const int L = static_cast<int>(cfg_.conv_channels.size());
+  const int k = cfg_.sortpool_k;
+  const int kept = static_cast<int>(ws.order.size());
+
+  // Softmax + cross-entropy gradient: d(loss)/d(logit_c) = p_c - onehot_c.
+  double dlogits[2];
+  dlogits[0] = (1.0 - ws.prob1) - (g.label == 0 ? 1.0 : 0.0);
+  dlogits[1] = ws.prob1 - (g.label == 1 ? 1.0 : 0.0);
+
+  // Dense 2.
+  Matrix& gw6 = grads_[w6_];
+  Matrix& gb6 = grads_[b6_];
+  std::vector<double> dhid(cfg_.dense_units, 0.0);
+  for (int c = 0; c < 2; ++c) {
+    gb6.at(0, c) += dlogits[c];
+    double* gw = gw6.row(c);
+    const double* w = params_[w6_].row(c);
+    for (int u = 0; u < cfg_.dense_units; ++u) {
+      gw[u] += dlogits[c] * ws.hid[u];
+      dhid[u] += dlogits[c] * w[u];
+    }
+  }
+
+  // Dropout + ReLU of dense 1. ws.hid is post-dropout; a unit is active iff
+  // hid > 0 (masked units are exactly 0, and ReLU zeros negatives).
+  for (int u = 0; u < cfg_.dense_units; ++u) {
+    dhid[u] = ws.hid[u] > 0.0 ? dhid[u] * ws.mask[u] : 0.0;
+  }
+
+  // Dense 1.
+  Matrix& gw5 = grads_[w5_];
+  Matrix& gb5 = grads_[b5_];
+  std::vector<double> df(ws.f.size(), 0.0);
+  for (int u = 0; u < cfg_.dense_units; ++u) {
+    if (dhid[u] == 0.0) continue;
+    gb5.at(0, u) += dhid[u];
+    double* gw = gw5.row(u);
+    const double* w = params_[w5_].row(u);
+    for (std::size_t j = 0; j < ws.f.size(); ++j) {
+      gw[j] += dhid[u] * ws.f[j];
+      df[j] += dhid[u] * w[j];
+    }
+  }
+
+  // Conv2 (df is dC2 post-ReLU, flattened row-major).
+  Matrix dm(pooled_len_, cfg_.conv1d_channels1);
+  Matrix& gk2 = grads_[k2_];
+  Matrix& gb2 = grads_[b2_];
+  for (int t = 0; t < conv2_len_; ++t) {
+    for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
+      const double out = ws.c2.at(t, c);
+      double d = df[static_cast<std::size_t>(t) * cfg_.conv1d_channels2 + c];
+      if (out <= 0.0 || d == 0.0) continue;
+      gb2.at(0, c) += d;
+      double* gw = gk2.row(c);
+      const double* w = params_[k2_].row(c);
+      int wi = 0;
+      for (int dt = 0; dt < cfg_.conv1d_kernel2; ++dt) {
+        const double* mr = ws.m.row(t + dt);
+        double* dmr = dm.row(t + dt);
+        for (int ic = 0; ic < cfg_.conv1d_channels1; ++ic) {
+          gw[wi] += d * mr[ic];
+          dmr[ic] += d * w[wi];
+          ++wi;
+        }
+      }
+    }
+  }
+
+  // Max-pool: route to argmax frame.
+  Matrix dc1(k, cfg_.conv1d_channels1);
+  for (int t = 0; t < pooled_len_; ++t) {
+    for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
+      const double d = dm.at(t, c);
+      if (d == 0.0) continue;
+      dc1.at(ws.argmax[static_cast<std::size_t>(t) * cfg_.conv1d_channels1 + c], c) += d;
+    }
+  }
+
+  // Conv1 (+ ReLU).
+  Matrix ds(k, cat_dim_);
+  Matrix& gk1 = grads_[k1_];
+  Matrix& gb1 = grads_[b1_];
+  for (int t = 0; t < k; ++t) {
+    for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
+      double d = dc1.at(t, c);
+      if (d == 0.0 || ws.c1.at(t, c) <= 0.0) continue;
+      gb1.at(0, c) += d;
+      double* gw = gk1.row(c);
+      const double* w = params_[k1_].row(c);
+      const double* sr = ws.s.row(t);
+      double* dsr = ds.row(t);
+      for (int j = 0; j < cat_dim_; ++j) {
+        gw[j] += d * sr[j];
+        dsr[j] += d * w[j];
+      }
+    }
+  }
+
+  // SortPooling scatter: segment ds rows back onto dH_l of selected nodes.
+  const int n = g.x.rows;
+  std::vector<Matrix> dh(L);
+  for (int l = 0; l < L; ++l) dh[l] = Matrix(n, cfg_.conv_channels[l]);
+  for (int t = 0; t < kept; ++t) {
+    const int node = ws.order[t];
+    int off = 0;
+    for (int l = 0; l < L; ++l) {
+      const double* dsr = ds.row(t);
+      double* dhr = dh[l].row(node);
+      for (int c = 0; c < cfg_.conv_channels[l]; ++c) dhr[c] += dsr[off + c];
+      off += cfg_.conv_channels[l];
+    }
+  }
+
+  // Graph convolutions, last to first: H_l = tanh(U_l W_l), U_l = P Z_{l-1}.
+  for (int l = L - 1; l >= 0; --l) {
+    Matrix& dhl = dh[l];
+    // tanh'
+    for (int i = 0; i < dhl.rows; ++i) {
+      double* dr = dhl.row(i);
+      const double* hr = ws.h[l].row(i);
+      for (int c = 0; c < dhl.cols; ++c) dr[c] *= 1.0 - hr[c] * hr[c];
+    }
+    matmul_at_b_accum(ws.u[l], dhl, grads_[w_conv_[l]]);
+    if (l == 0) break;  // no gradient into the input features
+    Matrix du;
+    matmul_a_bt(dhl, params_[w_conv_[l]], du);
+    Matrix dz;
+    propagate_transpose(g.nbr, du, dz);
+    for (std::size_t i = 0; i < dz.data.size(); ++i) dh[l - 1].data[i] += dz.data[i];
+  }
+}
+
+void Dgcnn::adam_step(std::size_t batch_size) {
+  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
+  const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    auto& w = params_[p].data;
+    auto& gv = grads_[p].data;
+    auto& m = adam_m_[p].data;
+    auto& v = adam_v_[p].data;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double grad = gv[i] * scale;
+      m[i] = b1 * m[i] + (1.0 - b1) * grad;
+      v[i] = b2 * v[i] + (1.0 - b2) * grad * grad;
+      w[i] -= cfg_.learning_rate * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+      gv[i] = 0.0;
+    }
+  }
+}
+
+void Dgcnn::zero_gradients() {
+  for (Matrix& g : grads_) g.zero();
+}
+
+std::vector<Matrix> Dgcnn::save_parameters() const { return params_; }
+
+void Dgcnn::load_parameters(const std::vector<Matrix>& params) {
+  if (params.size() != params_.size()) throw std::invalid_argument("load_parameters: mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].rows != params_[i].rows || params[i].cols != params_[i].cols) {
+      throw std::invalid_argument("load_parameters: tensor " + std::to_string(i) +
+                                  " shape mismatch");
+    }
+  }
+  params_ = params;
+}
+
+std::size_t Dgcnn::num_parameters() const {
+  std::size_t n = 0;
+  for (const Matrix& p : params_) n += p.data.size();
+  return n;
+}
+
+}  // namespace muxlink::gnn

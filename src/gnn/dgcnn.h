@@ -1,0 +1,102 @@
+// Deep Graph Convolutional Neural Network (DGCNN [18]) for graph (= link)
+// classification, exactly as configured in the paper (§III-D / §IV):
+//   * L graph-conv layers H^{l+1} = tanh(D^-1 (A+I) H^l W^l),
+//     channels {32, 32, 32, 1};
+//   * SortPooling to k nodes, ordered by the last 1-channel layer;
+//   * 1-D conv (16 ch, kernel = feature width) + max-pool(2) +
+//     1-D conv (32 ch, kernel 5), ReLU;
+//   * dense 128 + ReLU + dropout 0.5 + dense 2 + softmax.
+// Forward, hand-written backprop, and Adam live here; no ML framework.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gnn/matrix.h"
+
+namespace muxlink::gnn {
+
+// One input graph: sparse structure + dense node features + binary label.
+struct GraphSample {
+  // Neighbor lists (no self entries); propagation uses (A+I) row-normalized.
+  std::vector<std::vector<int>> nbr;
+  Matrix x;       // num_nodes × feature_dim
+  int label = 0;  // 1 = link exists
+};
+
+struct DgcnnConfig {
+  std::vector<int> conv_channels{32, 32, 32, 1};
+  int conv1d_channels1 = 16;
+  int conv1d_channels2 = 32;
+  int conv1d_kernel2 = 5;
+  int dense_units = 128;
+  double dropout = 0.5;
+  int sortpool_k = 10;  // >= 10 so the second 1-D conv has support
+  double learning_rate = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+class Dgcnn {
+ public:
+  Dgcnn(int feature_dim, const DgcnnConfig& config);
+
+  const DgcnnConfig& config() const noexcept { return cfg_; }
+  int feature_dim() const noexcept { return feature_dim_; }
+
+  // Probability that the graph's link exists (class 1). `training` enables
+  // dropout (using the internal RNG).
+  double predict(const GraphSample& g, bool training = false);
+
+  // Forward + backward for one sample; accumulates parameter gradients and
+  // returns the cross-entropy loss.
+  double accumulate_gradients(const GraphSample& g);
+
+  // Adam step over the gradients accumulated since the last step, averaged
+  // over `batch_size` samples; clears the accumulators.
+  void adam_step(std::size_t batch_size);
+
+  // Parameter snapshot (for best-on-validation checkpointing).
+  std::vector<Matrix> save_parameters() const;
+  void load_parameters(const std::vector<Matrix>& params);
+
+  // Accumulated (unaveraged) gradients since the last adam_step — exposed
+  // for gradient-checking tests and optimizer experiments.
+  const std::vector<Matrix>& gradients() const noexcept { return grads_; }
+  void zero_gradients();
+
+  // Number of trainable scalars (for reporting).
+  std::size_t num_parameters() const;
+
+ private:
+  struct Workspace;
+  double forward(const GraphSample& g, bool training, bool keep_for_backward, Workspace& ws);
+  void backward(const GraphSample& g, Workspace& ws);
+
+  DgcnnConfig cfg_;
+  int feature_dim_;
+  int cat_dim_ = 0;    // sum of conv channels (SortPooling row width)
+  int pooled_len_ = 0; // frames after max-pool
+  int conv2_len_ = 0;  // frames after the second 1-D conv
+  std::mt19937_64 rng_;
+
+  // Parameters, gradients, and Adam moments share indexing.
+  std::vector<Matrix> params_;
+  std::vector<Matrix> grads_;
+  std::vector<Matrix> adam_m_;
+  std::vector<Matrix> adam_v_;
+  long adam_t_ = 0;
+
+  // Parameter indices.
+  std::vector<int> w_conv_;  // graph conv weights
+  int k1_ = -1, b1_ = -1;    // 1-D conv 1
+  int k2_ = -1, b2_ = -1;    // 1-D conv 2
+  int w5_ = -1, b5_ = -1;    // dense 128
+  int w6_ = -1, b6_ = -1;    // dense 2
+};
+
+// Chooses SortPooling k so that `fraction` of the given subgraph sizes are
+// <= k (paper: 60%), floored at 10 so the conv stack has support.
+int choose_sortpool_k(std::vector<int> subgraph_sizes, double fraction = 0.6);
+
+}  // namespace muxlink::gnn

@@ -1,0 +1,28 @@
+#include "gnn/encoding.h"
+
+namespace muxlink::gnn {
+
+int feature_dim_for_hops(int hops) {
+  return graph::kNumTypeFeatures + graph::max_drnl_label(hops) + 1;
+}
+
+GraphSample encode_subgraph(const graph::Subgraph& sg, int hops, int label) {
+  const int n = static_cast<int>(sg.num_nodes());
+  const int label_dim = graph::max_drnl_label(hops) + 1;
+  GraphSample g;
+  g.label = label;
+  g.nbr.resize(n);
+  for (int i = 0; i < n; ++i) {
+    g.nbr[i].assign(sg.adj[i].begin(), sg.adj[i].end());
+  }
+  g.x = Matrix(n, graph::kNumTypeFeatures + label_dim);
+  for (int i = 0; i < n; ++i) {
+    g.x.at(i, graph::type_feature_index(sg.type[i])) = 1.0;
+    int drnl = sg.drnl[i];
+    if (drnl < 0 || drnl >= label_dim) drnl = 0;
+    g.x.at(i, graph::kNumTypeFeatures + drnl) = 1.0;
+  }
+  return g;
+}
+
+}  // namespace muxlink::gnn

@@ -1,0 +1,18 @@
+// Bridges graph::Subgraph into gnn::GraphSample: node information matrix X
+// (paper §III-B) = [8-bit one-hot gate function | one-hot DRNL label].
+#pragma once
+
+#include "gnn/dgcnn.h"
+#include "graph/subgraph.h"
+
+namespace muxlink::gnn {
+
+// Total feature width for subgraphs extracted with `hops`.
+int feature_dim_for_hops(int hops);
+
+// Encodes one subgraph; `label` is the link label (1 = exists). DRNL labels
+// above the encoding range (possible only if `hops` differs from the
+// extraction setting) are clamped to 0.
+GraphSample encode_subgraph(const graph::Subgraph& sg, int hops, int label);
+
+}  // namespace muxlink::gnn

@@ -1,0 +1,90 @@
+// Minimal dense row-major matrix for the from-scratch DGCNN. Double
+// precision keeps finite-difference gradient checks tight; the tensors
+// involved (enclosing subgraphs, 32-channel layers) are small enough that
+// this is not the bottleneck.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace muxlink::gnn {
+
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> data;
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c, 0.0) {}
+
+  double& at(int r, int c) {
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+  double at(int r, int c) const {
+    assert(r >= 0 && r < rows && c >= 0 && c < cols);
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+  double* row(int r) { return data.data() + static_cast<std::size_t>(r) * cols; }
+  const double* row(int r) const { return data.data() + static_cast<std::size_t>(r) * cols; }
+
+  void zero() { std::fill(data.begin(), data.end(), 0.0); }
+
+  // Glorot-uniform initialization.
+  void glorot(std::mt19937_64& rng) {
+    const double limit = std::sqrt(6.0 / (rows + cols));
+    std::uniform_real_distribution<double> u(-limit, limit);
+    for (double& x : data) x = u(rng);
+  }
+};
+
+// out = a * b.
+inline void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols == b.rows);
+  out = Matrix(a.rows, b.cols);
+  for (int i = 0; i < a.rows; ++i) {
+    const double* ai = a.row(i);
+    double* oi = out.row(i);
+    for (int k = 0; k < a.cols; ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row(k);
+      for (int j = 0; j < b.cols; ++j) oi[j] += aik * bk[j];
+    }
+  }
+}
+
+// out += a^T * b (used for weight gradients).
+inline void matmul_at_b_accum(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows == b.rows && out.rows == a.cols && out.cols == b.cols);
+  for (int k = 0; k < a.rows; ++k) {
+    const double* ak = a.row(k);
+    const double* bk = b.row(k);
+    for (int i = 0; i < a.cols; ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* oi = out.row(i);
+      for (int j = 0; j < b.cols; ++j) oi[j] += aki * bk[j];
+    }
+  }
+}
+
+// out = a * b^T.
+inline void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols == b.cols);
+  out = Matrix(a.rows, b.rows);
+  for (int i = 0; i < a.rows; ++i) {
+    const double* ai = a.row(i);
+    double* oi = out.row(i);
+    for (int j = 0; j < b.rows; ++j) {
+      const double* bj = b.row(j);
+      double acc = 0.0;
+      for (int k = 0; k < a.cols; ++k) acc += ai[k] * bj[k];
+      oi[j] = acc;
+    }
+  }
+}
+
+}  // namespace muxlink::gnn

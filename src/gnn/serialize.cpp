@@ -1,0 +1,85 @@
+#include "gnn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace muxlink::gnn {
+
+namespace {
+constexpr const char* kMagic = "muxlink-dgcnn-v1";
+}
+
+void save_model(const Dgcnn& model, std::ostream& os) {
+  const DgcnnConfig& cfg = model.config();
+  os << kMagic << '\n';
+  os << model.feature_dim() << '\n';
+  os << cfg.conv_channels.size();
+  for (int c : cfg.conv_channels) os << ' ' << c;
+  os << '\n';
+  os << cfg.conv1d_channels1 << ' ' << cfg.conv1d_channels2 << ' ' << cfg.conv1d_kernel2 << ' '
+     << cfg.dense_units << ' ' << cfg.sortpool_k << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << cfg.dropout << ' ' << cfg.learning_rate << ' ' << cfg.seed << '\n';
+  const auto params = model.save_parameters();
+  os << params.size() << '\n';
+  for (const Matrix& m : params) {
+    os << m.rows << ' ' << m.cols;
+    for (double x : m.data) os << ' ' << x;
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("save_model: stream write failed");
+}
+
+void save_model_file(const Dgcnn& model, const std::filesystem::path& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_model_file: cannot open '" + path.string() + "'");
+  save_model(model, os);
+}
+
+Dgcnn load_model(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != kMagic) throw std::runtime_error("load_model: bad magic '" + magic + "'");
+  int feature_dim = 0;
+  is >> feature_dim;
+  std::size_t num_layers = 0;
+  is >> num_layers;
+  if (!is || feature_dim < 1 || num_layers < 1 || num_layers > 64) {
+    throw std::runtime_error("load_model: malformed header");
+  }
+  DgcnnConfig cfg;
+  cfg.conv_channels.assign(num_layers, 0);
+  for (auto& c : cfg.conv_channels) is >> c;
+  is >> cfg.conv1d_channels1 >> cfg.conv1d_channels2 >> cfg.conv1d_kernel2 >> cfg.dense_units >>
+      cfg.sortpool_k;
+  is >> cfg.dropout >> cfg.learning_rate >> cfg.seed;
+  std::size_t num_params = 0;
+  is >> num_params;
+  if (!is) throw std::runtime_error("load_model: malformed config");
+
+  Dgcnn model(feature_dim, cfg);
+  std::vector<Matrix> params;
+  params.reserve(num_params);
+  for (std::size_t p = 0; p < num_params; ++p) {
+    int rows = 0, cols = 0;
+    is >> rows >> cols;
+    if (!is || rows < 0 || cols < 0) throw std::runtime_error("load_model: bad tensor header");
+    Matrix m(rows, cols);
+    for (double& x : m.data) is >> x;
+    params.push_back(std::move(m));
+  }
+  if (!is) throw std::runtime_error("load_model: truncated tensor data");
+  model.load_parameters(params);  // validates the shape count
+  return model;
+}
+
+Dgcnn load_model_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_model_file: cannot open '" + path.string() + "'");
+  return load_model(is);
+}
+
+}  // namespace muxlink::gnn

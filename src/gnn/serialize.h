@@ -1,0 +1,23 @@
+// DGCNN model checkpointing: a portable text format carrying the topology
+// and every parameter tensor at full double precision, so a trained link
+// predictor can be shipped or reloaded without retraining.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+
+#include "gnn/dgcnn.h"
+
+namespace muxlink::gnn {
+
+// Writes `model` (topology + parameters) to the stream/file.
+void save_model(const Dgcnn& model, std::ostream& os);
+void save_model_file(const Dgcnn& model, const std::filesystem::path& path);
+
+// Reconstructs a model; throws std::runtime_error on malformed input or
+// version mismatch.
+Dgcnn load_model(std::istream& is);
+Dgcnn load_model_file(const std::filesystem::path& path);
+
+}  // namespace muxlink::gnn

@@ -1,0 +1,111 @@
+#include "gnn/trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <random>
+
+namespace muxlink::gnn {
+
+double evaluate_accuracy(Dgcnn& model, const std::vector<GraphSample>& samples) {
+  if (samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const GraphSample& s : samples) {
+    const double p = model.predict(s);
+    if ((p >= 0.5) == (s.label == 1)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+double evaluate_auc(Dgcnn& model, const std::vector<GraphSample>& samples) {
+  // Mann-Whitney U statistic over prediction scores.
+  std::vector<double> pos, neg;
+  for (const GraphSample& s : samples) {
+    (s.label == 1 ? pos : neg).push_back(model.predict(s));
+  }
+  if (pos.empty() || neg.empty()) return 0.5;
+  double wins = 0.0;
+  for (double p : pos) {
+    for (double n : neg) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(pos.size()) * static_cast<double>(neg.size()));
+}
+
+TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& samples,
+                                 const TrainOptions& opts) {
+  TrainReport report;
+  if (samples.empty()) return report;
+  std::mt19937_64 rng(opts.seed);
+
+  // Split train/validation.
+  std::vector<std::size_t> index(samples.size());
+  std::iota(index.begin(), index.end(), 0);
+  std::shuffle(index.begin(), index.end(), rng);
+  std::size_t val_count =
+      static_cast<std::size_t>(opts.validation_fraction * static_cast<double>(samples.size()));
+  // A validation set this small cannot rank checkpoints meaningfully; fall
+  // back to training on everything and validating on everything.
+  if (val_count < 8) val_count = 0;
+  std::vector<GraphSample> val;
+  std::vector<const GraphSample*> train;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    if (i < val_count) {
+      val.push_back(samples[index[i]]);
+    } else {
+      train.push_back(&samples[index[i]]);
+    }
+  }
+  if (val.empty()) {
+    for (const GraphSample& s : samples) val.push_back(s);  // tiny datasets
+  }
+  report.train_samples = train.size();
+  report.val_samples = val.size();
+
+  std::vector<Matrix> best = model.save_parameters();
+  double best_acc = -1.0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  int best_epoch = -1;
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 1; epoch <= opts.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double loss_sum = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      loss_sum += model.accumulate_gradients(*train[order[i]]);
+      if (++in_batch == static_cast<std::size_t>(opts.batch_size) || i + 1 == order.size()) {
+        model.adam_step(in_batch);
+        in_batch = 0;
+      }
+    }
+    const double train_loss =
+        train.empty() ? 0.0 : loss_sum / static_cast<double>(train.size());
+    const double val_acc = evaluate_accuracy(model, val);
+    // Ties on validation accuracy (common with small validation sets) are
+    // broken toward the lower training loss, so a lucky early epoch cannot
+    // pin the checkpoint.
+    if (val_acc > best_acc || (val_acc == best_acc && train_loss < best_loss)) {
+      best_acc = val_acc;
+      best_loss = train_loss;
+      best_epoch = epoch;
+      best = model.save_parameters();
+    }
+    report.final_train_loss = train_loss;
+    if (opts.on_epoch) opts.on_epoch(epoch, train_loss, val_acc);
+  }
+
+  model.load_parameters(best);
+  report.best_epoch = best_epoch;
+  report.best_val_accuracy = best_acc;
+  return report;
+}
+
+}  // namespace muxlink::gnn

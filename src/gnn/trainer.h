@@ -1,0 +1,46 @@
+// Training loop for the DGCNN link predictor: shuffled minibatches, Adam,
+// 10% validation split, and best-on-validation checkpointing (paper §IV:
+// "save the model with the best performance on the 10% validation set").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gnn/dgcnn.h"
+
+namespace muxlink::gnn {
+
+struct TrainOptions {
+  int epochs = 100;
+  int batch_size = 32;
+  double validation_fraction = 0.1;
+  std::uint64_t seed = 1;  // shuffling/split seed (the model owns its own RNG)
+  // Called after every epoch with (epoch, train_loss, val_accuracy).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct TrainReport {
+  int best_epoch = -1;
+  double best_val_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  std::size_t train_samples = 0;
+  std::size_t val_samples = 0;
+};
+
+// Trains `model` on `samples` (split internally into train/validation) and
+// leaves the best-validation parameters loaded. With fewer than 10 samples
+// the whole set is used for training and validation alike.
+TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& samples,
+                                 const TrainOptions& opts = {});
+
+// Validation/test accuracy of the current parameters: prediction >= 0.5
+// counts as class 1.
+double evaluate_accuracy(Dgcnn& model, const std::vector<GraphSample>& samples);
+
+// ROC-AUC of the current parameters over `samples` (rank statistic; ties
+// count half). Returns 0.5 when one class is absent.
+double evaluate_auc(Dgcnn& model, const std::vector<GraphSample>& samples);
+
+}  // namespace muxlink::gnn

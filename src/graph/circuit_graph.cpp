@@ -1,0 +1,101 @@
+#include "graph/circuit_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace muxlink::graph {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+bool CircuitGraph::has_edge(NodeId u, NodeId v) const {
+  const auto& nb = adj_.at(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Link> CircuitGraph::all_edges() const {
+  std::vector<Link> edges;
+  edges.reserve(num_edges_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+NodeId CircuitGraph::add_node(GateId gate, GateType type, std::size_t total_gates) {
+  if (node_of_.empty()) node_of_.assign(total_gates, kNoNode);
+  const NodeId n = static_cast<NodeId>(adj_.size());
+  adj_.emplace_back();
+  type_.push_back(type);
+  gate_of_.push_back(gate);
+  node_of_.at(gate) = static_cast<std::int32_t>(n);
+  return n;
+}
+
+void CircuitGraph::add_edge(NodeId u, NodeId v) {
+  if (u == v) return;  // a gate feeding itself twice carries no information
+  adj_.at(u).push_back(v);
+  adj_.at(v).push_back(u);
+}
+
+void CircuitGraph::finalize() {
+  num_edges_ = 0;
+  for (auto& nb : adj_) {
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    num_edges_ += nb.size();
+  }
+  num_edges_ /= 2;
+}
+
+CircuitGraph build_circuit_graph(const Netlist& nl, std::span<const GateId> excluded) {
+  std::vector<bool> skip(nl.num_gates(), false);
+  for (GateId g : excluded) skip.at(g) = true;
+
+  CircuitGraph graph;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (skip[g] || nl.gate(g).type == GateType::kInput) continue;
+    graph.add_node(g, nl.gate(g).type, nl.num_gates());
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const std::int32_t gn = graph.node_of(g);
+    if (gn == kNoNode) continue;
+    for (GateId f : nl.gate(g).fanins) {
+      const std::int32_t fn = graph.node_of(f);
+      if (fn == kNoNode) continue;
+      graph.add_edge(static_cast<NodeId>(fn), static_cast<NodeId>(gn));
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+int type_feature_index(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+      return 0;
+    case GateType::kNand:
+      return 1;
+    case GateType::kOr:
+      return 2;
+    case GateType::kNor:
+      return 3;
+    case GateType::kXor:
+      return 4;
+    case GateType::kXnor:
+      return 5;
+    case GateType::kNot:
+      return 6;
+    case GateType::kBuf:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 7;
+    default:
+      throw std::invalid_argument("type_feature_index: gate type not representable");
+  }
+}
+
+}  // namespace muxlink::graph

@@ -1,0 +1,61 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace muxlink::graph {
+
+std::vector<LinkSample> sample_links(const CircuitGraph& graph, std::span<const Link> excluded,
+                                     const SamplingOptions& opts) {
+  if (graph.num_nodes() < 4) {
+    throw std::invalid_argument("sample_links: graph too small to sample from");
+  }
+  std::set<std::pair<NodeId, NodeId>> banned;
+  for (const Link& l : excluded) {
+    banned.emplace(std::min(l.u, l.v), std::max(l.u, l.v));
+  }
+  auto is_banned = [&](NodeId u, NodeId v) {
+    return banned.contains({std::min(u, v), std::max(u, v)});
+  };
+
+  std::mt19937_64 rng(opts.seed);
+
+  std::vector<Link> positives;
+  for (const Link& e : graph.all_edges()) {
+    if (!is_banned(e.u, e.v)) positives.push_back(e);
+  }
+  std::shuffle(positives.begin(), positives.end(), rng);
+  const std::size_t per_side = std::min(positives.size(), opts.max_links / 2);
+  positives.resize(per_side);
+
+  std::vector<Link> negatives;
+  negatives.reserve(per_side);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(graph.num_nodes() - 1));
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = per_side * 200 + 1000;
+  while (negatives.size() < per_side && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = pick(rng);
+    const NodeId v = pick(rng);
+    if (u == v || graph.has_edge(u, v) || is_banned(u, v)) continue;
+    const auto key = std::minmax(u, v);
+    if (!seen.emplace(key.first, key.second).second) continue;
+    negatives.push_back({u, v});
+  }
+  // Keep the dataset balanced even if negative sampling fell short (only
+  // possible on near-complete graphs).
+  const std::size_t n = std::min(positives.size(), negatives.size());
+  std::vector<LinkSample> samples;
+  samples.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back({positives[i], true});
+    samples.push_back({negatives[i], false});
+  }
+  std::shuffle(samples.begin(), samples.end(), rng);
+  return samples;
+}
+
+}  // namespace muxlink::graph

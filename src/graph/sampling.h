@@ -1,0 +1,29 @@
+// Training-link sampling for the link-prediction dataset (paper §III-C):
+// balanced positive (observed wires) and negative (unobserved wires)
+// samples, excluding the target links under attack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/circuit_graph.h"
+
+namespace muxlink::graph {
+
+struct LinkSample {
+  Link link;
+  bool positive = false;
+};
+
+struct SamplingOptions {
+  std::size_t max_links = 100000;  // paper: "a maximum of 100,000 training links"
+  std::uint64_t seed = 1;
+};
+
+// Returns a shuffled, balanced sample: up to max_links/2 positives (graph
+// edges) and as many negatives (uniform non-adjacent node pairs). Links in
+// `excluded` (and their reverses) never appear on either side.
+std::vector<LinkSample> sample_links(const CircuitGraph& graph, std::span<const Link> excluded,
+                                     const SamplingOptions& opts = {});
+
+}  // namespace muxlink::graph

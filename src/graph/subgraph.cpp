@@ -1,0 +1,169 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace muxlink::graph {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+// Bounded BFS over the global graph. Returns distance map (kInf = farther
+// than `limit`).
+std::unordered_map<NodeId, int> bfs_global(const CircuitGraph& g, NodeId source, int limit) {
+  std::unordered_map<NodeId, int> dist;
+  dist.emplace(source, 0);
+  std::queue<NodeId> q;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    const int d = dist[n];
+    if (d == limit) continue;
+    for (NodeId nb : g.neighbors(n)) {
+      if (dist.emplace(nb, d + 1).second) q.push(nb);
+    }
+  }
+  return dist;
+}
+
+// BFS inside the local subgraph starting at `source`, skipping `blocked`.
+std::vector<int> bfs_local(const std::vector<std::vector<NodeId>>& adj, NodeId source,
+                           NodeId blocked) {
+  std::vector<int> dist(adj.size(), kInf);
+  if (source == blocked) return dist;
+  dist[source] = 0;
+  std::queue<NodeId> q;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop();
+    for (NodeId nb : adj[n]) {
+      if (nb == blocked || dist[nb] != kInf) continue;
+      dist[nb] = dist[n] + 1;
+      q.push(nb);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+int max_drnl_label(int hops) {
+  // Within-subgraph distances are clamped to 2*hops per target (longer
+  // detours are labeled 0), so d = du + dv <= 4*hops.
+  const int dmax = 4 * hops;
+  const int half = dmax / 2;
+  return 1 + 2 * hops + half * (half + (dmax % 2) - 1);
+}
+
+Subgraph extract_node_subgraph(const CircuitGraph& graph, NodeId center,
+                               const SubgraphOptions& opts) {
+  if (center >= graph.num_nodes()) {
+    throw std::invalid_argument("extract_node_subgraph: bad center node");
+  }
+  const auto dist = bfs_global(graph, center, opts.hops);
+  std::vector<std::pair<int, NodeId>> order;
+  order.reserve(dist.size());
+  for (const auto& [n, d] : dist) {
+    if (n != center) order.emplace_back(d, n);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<NodeId> members{center};
+  std::size_t budget = order.size();
+  if (opts.max_nodes > 1 && order.size() + 1 > opts.max_nodes) budget = opts.max_nodes - 1;
+  for (std::size_t i = 0; i < budget; ++i) members.push_back(order[i].second);
+
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(members.size());
+  for (NodeId i = 0; i < members.size(); ++i) local.emplace(members[i], i);
+
+  Subgraph sg;
+  sg.adj.resize(members.size());
+  sg.type.resize(members.size());
+  sg.drnl.assign(members.size(), 0);
+  sg.global = members;
+  for (NodeId i = 0; i < members.size(); ++i) {
+    sg.type[i] = graph.node_type(members[i]);
+    sg.drnl[i] = dist.at(members[i]);
+    for (NodeId nb : graph.neighbors(members[i])) {
+      const auto it = local.find(nb);
+      if (it != local.end()) sg.adj[i].push_back(it->second);
+    }
+    std::sort(sg.adj[i].begin(), sg.adj[i].end());
+  }
+  return sg;
+}
+
+Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
+                                    const SubgraphOptions& opts) {
+  if (target.u >= graph.num_nodes() || target.v >= graph.num_nodes() || target.u == target.v) {
+    throw std::invalid_argument("extract_enclosing_subgraph: bad target link");
+  }
+  const auto du = bfs_global(graph, target.u, opts.hops);
+  const auto dv = bfs_global(graph, target.v, opts.hops);
+
+  // Membership: union of the two h-hop balls, targets first.
+  std::vector<NodeId> members{target.u, target.v};
+  {
+    std::vector<std::pair<int, NodeId>> rest;  // (closeness, node)
+    for (const auto& [n, d] : du) {
+      if (n != target.u && n != target.v) {
+        const auto it = dv.find(n);
+        rest.emplace_back(std::min(d, it == dv.end() ? kInf : it->second), n);
+      }
+    }
+    for (const auto& [n, d] : dv) {
+      if (n != target.u && n != target.v && !du.contains(n)) rest.emplace_back(d, n);
+    }
+    std::sort(rest.begin(), rest.end());
+    std::size_t budget = rest.size();
+    if (opts.max_nodes > 2 && rest.size() + 2 > opts.max_nodes) {
+      budget = opts.max_nodes - 2;
+    }
+    for (std::size_t i = 0; i < budget; ++i) members.push_back(rest[i].second);
+  }
+
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(members.size());
+  for (NodeId i = 0; i < members.size(); ++i) local.emplace(members[i], i);
+
+  Subgraph sg;
+  sg.adj.resize(members.size());
+  sg.type.resize(members.size());
+  sg.global = members;
+  for (NodeId i = 0; i < members.size(); ++i) {
+    sg.type[i] = graph.node_type(members[i]);
+    for (NodeId nb : graph.neighbors(members[i])) {
+      const auto it = local.find(nb);
+      if (it == local.end()) continue;
+      const NodeId j = it->second;
+      if (opts.remove_target_edge && ((i == 0 && j == 1) || (i == 1 && j == 0))) continue;
+      sg.adj[i].push_back(j);
+    }
+    std::sort(sg.adj[i].begin(), sg.adj[i].end());
+  }
+
+  // DRNL (Eq. 3): du computed with v removed, dv with u removed.
+  const auto ldu = bfs_local(sg.adj, 0, 1);
+  const auto ldv = bfs_local(sg.adj, 1, 0);
+  const int clamp = 2 * opts.hops;
+  sg.drnl.assign(members.size(), 0);
+  sg.drnl[0] = 1;
+  sg.drnl[1] = 1;
+  for (NodeId i = 2; i < members.size(); ++i) {
+    const int a = ldu[i];
+    const int b = ldv[i];
+    if (a == kInf || b == kInf || a > clamp || b > clamp) continue;  // label 0
+    const int d = a + b;
+    const int half = d / 2;
+    sg.drnl[i] = 1 + std::min(a, b) + half * (half + (d % 2) - 1);
+  }
+  return sg;
+}
+
+}  // namespace muxlink::graph

@@ -1,0 +1,50 @@
+// h-hop enclosing subgraph extraction and double-radius node labeling
+// (DRNL, Eq. 3 of the paper / SEAL [17]).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/circuit_graph.h"
+
+namespace muxlink::graph {
+
+struct Subgraph {
+  // Local adjacency (node 0 = target u, node 1 = target v).
+  std::vector<std::vector<NodeId>> adj;
+  std::vector<netlist::GateType> type;   // gate function per local node
+  std::vector<int> drnl;                 // DRNL label; targets = 1, unreachable = 0
+  std::vector<NodeId> global;            // local -> CircuitGraph node
+
+  std::size_t num_nodes() const noexcept { return adj.size(); }
+};
+
+struct SubgraphOptions {
+  int hops = 3;
+  // 0 = unbounded. When positive, BFS frontiers are truncated to keep the
+  // subgraph at most this big (targets always kept) — guards against fanout
+  // hubs in large ITC-99-class designs.
+  std::size_t max_nodes = 0;
+  // Remove the (u, v) edge inside the subgraph when present. Always on for
+  // training positives and harmless for negatives/targets, where no such
+  // edge exists ("the links between the target nodes are always removed").
+  bool remove_target_edge = true;
+};
+
+// Induces the subgraph over { j : d(j,u) <= h or d(j,v) <= h } and labels it
+// with DRNL: f(j) = 1 + min(du,dv) + (d/2)[(d/2) + (d%2) - 1], d = du + dv,
+// where du is computed with v removed and dv with u removed (SEAL
+// convention); nodes seeing only one target get label 0; targets get 1.
+Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
+                                    const SubgraphOptions& opts = {});
+
+// Upper bound (inclusive) on DRNL labels produced with `hops`; used to size
+// the one-hot label encoding without scanning a dataset twice.
+int max_drnl_label(int hops);
+
+// Single-center variant (used by the OMLA-like key-gate classifier): the
+// h-hop ball around `center`. Node 0 is the center; `drnl` holds hop
+// distances instead of DRNL labels (center = 0).
+Subgraph extract_node_subgraph(const CircuitGraph& graph, NodeId center,
+                               const SubgraphOptions& opts = {});
+
+}  // namespace muxlink::graph

@@ -1,0 +1,59 @@
+// Common types for logic-locking schemes and locked-design bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::locking {
+
+// Key-input naming convention shared by the whole tool chain (the attacker
+// identifies key gates by tracing inputs with this prefix, mirroring the
+// "trace the key-inputs from the tamper-proof memory" step of the paper).
+inline constexpr const char* kKeyInputPrefix = "keyinput";
+
+// Locking strategies (Fig. 4 of the paper).
+enum class Strategy : std::uint8_t {
+  kXor,       // classic XOR/XNOR locking (Fig. 1, baseline)
+  kNaiveMux,  // unprotected MUX locking (Fig. 1, SAAM-vulnerable baseline)
+  kS1,        // D-MUX: two MO nodes, two MUXes, two key-bits
+  kS2,        // D-MUX: two MO nodes, one MUX, one key-bit
+  kS3,        // D-MUX: SO decoy + MO locked node, one MUX, one key-bit
+  kS4,        // D-MUX: unrestricted pair, two MUXes, one shared key-bit
+  kS5,        // symmetric MUX locking [14]: two SO nodes, two MUXes, two key-bits
+};
+
+std::string_view to_string(Strategy s) noexcept;
+
+// One inserted key gate (a MUX, or an XOR/XNOR for Strategy::kXor).
+struct KeyGate {
+  netlist::GateId gate = netlist::kNullGate;  // the inserted key gate
+  int key_bit = -1;                           // index into LockedDesign::key
+  netlist::GateId true_driver = netlist::kNullGate;
+  netlist::GateId false_driver = netlist::kNullGate;  // decoy (MUX only)
+  netlist::GateId sink = netlist::kNullGate;          // gate whose fanin was replaced
+  std::uint32_t sink_port = 0;
+};
+
+// One obfuscated locality: the unit the post-processing reasons about.
+struct Locality {
+  Strategy strategy{};
+  std::vector<std::size_t> key_gates;  // indices into LockedDesign::key_gates
+};
+
+struct LockedDesign {
+  netlist::Netlist netlist;                  // locked circuit (with key inputs)
+  std::string scheme;                        // "dmux", "symmetric", ...
+  std::vector<std::uint8_t> key;             // ground-truth key bits
+  std::vector<std::string> key_input_names;  // key_input_names[i] drives bit i
+  std::vector<KeyGate> key_gates;
+  std::vector<Locality> localities;
+
+  std::size_t key_size() const noexcept { return key.size(); }
+  // "01X.." style string for logs.
+  std::string key_string() const;
+};
+
+}  // namespace muxlink::locking

@@ -1,0 +1,48 @@
+// MUX-based logic locking: D-MUX (eD-MUX policy over S1-S4) [10], symmetric
+// MUX locking (S5) [14], and the naive SAAM-vulnerable variant (Fig. 1).
+//
+// All schemes share the invariants the papers require:
+//  * no combinational loop is ever created (checked against the current
+//    netlist before each insertion);
+//  * D-MUX/symmetric locking cause no circuit reduction under ANY key
+//    (S1-S3 keep a free sink on every multi-output node they tap; S4/S5
+//    route both nodes through the MUX pair so a wrong key swaps rather than
+//    disconnects);
+//  * each key-MUX's two data inputs are equiprobably true/false (insertion
+//    order is randomized per key bit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "locking/locked_design.h"
+
+namespace muxlink::locking {
+
+struct MuxLockOptions {
+  std::size_t key_bits = 64;
+  std::uint64_t seed = 1;
+  // eD-MUX: prefer the cheap strategies (S1-S3), fall back to S4 only when
+  // no other strategy is viable. When false, every locality uses S4
+  // (the always-applicable baseline D-MUX configuration).
+  bool enhanced = true;
+  // Stop instead of throwing when fewer than key_bits fit (the paper hits
+  // this on c1355 at K=256). The achieved size is LockedDesign::key_size().
+  bool allow_partial = false;
+};
+
+// Deceptive MUX-based locking (D-MUX [10]).
+LockedDesign lock_dmux(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+// Symmetric MUX-based locking (S5 [14]). Uses two key bits per locality, so
+// `key_bits` must be even.
+LockedDesign lock_symmetric(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+// Naive MUX locking: a random decoy wire per key bit, no reduction check —
+// the SAAM-vulnerable baseline of Fig. 1(3).
+LockedDesign lock_naive_mux(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+// XOR/XNOR locking (Fig. 1(1), context baseline for SWEEP/SCOPE).
+LockedDesign lock_xor(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+}  // namespace muxlink::locking

@@ -1,0 +1,91 @@
+#include "locking/resolve.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+#include "synth/synthesis.h"
+
+namespace muxlink::locking {
+
+using netlist::Netlist;
+
+char to_char(KeyBit b) noexcept {
+  switch (b) {
+    case KeyBit::kZero:
+      return '0';
+    case KeyBit::kOne:
+      return '1';
+    case KeyBit::kUnknown:
+      return 'X';
+  }
+  return '?';
+}
+
+Netlist apply_key(const LockedDesign& design, const std::vector<KeyBit>& key) {
+  if (key.size() != design.key_size()) {
+    throw std::invalid_argument("apply_key: key size mismatch");
+  }
+  std::vector<std::pair<std::string, bool>> pins;
+  pins.reserve(key.size());
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] != KeyBit::kUnknown) {
+      pins.emplace_back(design.key_input_names[i], key[i] == KeyBit::kOne);
+    }
+  }
+  return synth::hardcode_inputs(design.netlist, pins);
+}
+
+Netlist apply_correct_key(const LockedDesign& design) {
+  std::vector<KeyBit> key;
+  key.reserve(design.key.size());
+  for (std::uint8_t b : design.key) key.push_back(key_bit_from_bool(b != 0));
+  return apply_key(design, key);
+}
+
+double average_hd_percent(const Netlist& original, const LockedDesign& design,
+                          const std::vector<KeyBit>& key, const HdOptions& opts) {
+  if (key.size() != design.key_size()) {
+    throw std::invalid_argument("average_hd_percent: key size mismatch");
+  }
+  std::vector<std::size_t> unknown;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] == KeyBit::kUnknown) unknown.push_back(i);
+  }
+
+  auto hd_for = [&](const std::vector<KeyBit>& complete) {
+    const Netlist unlocked = apply_key(design, complete);
+    sim::HammingOptions ho;
+    ho.num_patterns = opts.num_patterns;
+    ho.seed = opts.seed;
+    return sim::hamming_distance_percent(original, unlocked, ho);
+  };
+
+  if (unknown.empty()) return hd_for(key);
+
+  std::vector<std::vector<KeyBit>> completions;
+  if (unknown.size() <= opts.max_enumerate && (1ull << unknown.size()) <= opts.sample_count * 4) {
+    for (std::uint64_t mask = 0; mask < (1ull << unknown.size()); ++mask) {
+      auto complete = key;
+      for (std::size_t i = 0; i < unknown.size(); ++i) {
+        complete[unknown[i]] = (mask >> i & 1) != 0 ? KeyBit::kOne : KeyBit::kZero;
+      }
+      completions.push_back(std::move(complete));
+    }
+  } else {
+    std::mt19937_64 rng(opts.seed);
+    std::uniform_int_distribution<int> coin(0, 1);
+    for (std::size_t s = 0; s < opts.sample_count; ++s) {
+      auto complete = key;
+      for (std::size_t u : unknown) {
+        complete[u] = coin(rng) != 0 ? KeyBit::kOne : KeyBit::kZero;
+      }
+      completions.push_back(std::move(complete));
+    }
+  }
+  double total = 0.0;
+  for (const auto& c : completions) total += hd_for(c);
+  return total / static_cast<double>(completions.size());
+}
+
+}  // namespace muxlink::locking

@@ -1,0 +1,39 @@
+// Applying a (possibly partial) key to a locked netlist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locking/locked_design.h"
+
+namespace muxlink::locking {
+
+// Key bit values for recovered keys: 0, 1, or undeciphered (X).
+enum class KeyBit : std::uint8_t { kZero = 0, kOne = 1, kUnknown = 2 };
+
+inline KeyBit key_bit_from_bool(bool v) { return v ? KeyBit::kOne : KeyBit::kZero; }
+char to_char(KeyBit b) noexcept;
+
+// Hard-codes every key input whose bit is 0/1 and re-synthesizes; X bits
+// remain free inputs. `key[i]` pairs with `design.key_input_names[i]`.
+netlist::Netlist apply_key(const LockedDesign& design, const std::vector<KeyBit>& key);
+
+// Convenience: applies the design's own ground-truth key.
+netlist::Netlist apply_correct_key(const LockedDesign& design);
+
+// Enumerates (or samples, above `max_enumerate`) completions of the X bits,
+// returning the average Hamming distance (%) between the original design and
+// the unlocked design across completions. This mirrors the paper's Fig. 8
+// protocol: "for the cases where some key-bit values are undeciphered, we
+// measure the HD for all the possible remaining key-bit assignments".
+struct HdOptions {
+  std::size_t num_patterns = 100000;
+  std::uint64_t seed = 1;
+  std::size_t max_enumerate = 16;  // enumerate up to 2^4 completions, sample beyond
+  std::size_t sample_count = 16;
+};
+
+double average_hd_percent(const netlist::Netlist& original, const LockedDesign& design,
+                          const std::vector<KeyBit>& key, const HdOptions& opts = {});
+
+}  // namespace muxlink::locking

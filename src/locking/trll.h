@@ -1,0 +1,20 @@
+// Truly Random Logic Locking (TRLL [9], §II-B of the paper).
+//
+// Key-bit-1 insertions reuse or add inversions ((i) replace an existing
+// inverter by an XOR key gate, (iii) insert XOR followed by an inverter);
+// key-bit-0 insertions add a plain XOR ((ii)). Because synthesized designs
+// are full of inverters, the locality around a key gate no longer maps to
+// the key value — TRLL passes the random netlist test (RNT). On single-type
+// (AND-only) designs option (i) is unavailable and the (iii) inverter only
+// ever appears next to key-1 gates, so TRLL degrades to conventional XOR
+// locking and fails the AND netlist test (ANT) — exactly the §II-B
+// narrative, reproduced by bench_ant_rnt.
+#pragma once
+
+#include "locking/mux_lock.h"
+
+namespace muxlink::locking {
+
+LockedDesign lock_trll(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+}  // namespace muxlink::locking

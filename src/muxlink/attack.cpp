@@ -1,0 +1,218 @@
+#include "muxlink/attack.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "gnn/encoding.h"
+#include "graph/sampling.h"
+#include "graph/subgraph.h"
+#include "synth/synthesis.h"
+
+namespace muxlink::core {
+
+using attacks::TracedLocality;
+using attacks::TracedMux;
+using locking::KeyBit;
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+graph::Link target_link(const graph::CircuitGraph& g, GateId driver, GateId sink) {
+  const auto u = g.node_of(driver);
+  const auto v = g.node_of(sink);
+  if (u == graph::kNoNode || v == graph::kNoNode) {
+    throw netlist::NetlistError("MuxLink: target endpoints missing from the gate graph");
+  }
+  return {static_cast<graph::NodeId>(u), static_cast<graph::NodeId>(v)};
+}
+
+}  // namespace
+
+MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
+  const auto t_total = std::chrono::steady_clock::now();
+  MuxLinkResult result;
+
+  // (1) Trace key gates.
+  const auto keys = attacks::find_key_inputs(locked);
+  const auto muxes = attacks::trace_key_muxes(locked);
+  if (muxes.empty()) throw netlist::NetlistError("MuxLink: no key-controlled MUXes found");
+  localities_ = attacks::group_localities(locked, muxes);
+  key_bits_ = keys.size();
+
+  // (2) Build the gate graph with the key MUXes removed.
+  std::vector<GateId> excluded;
+  excluded.reserve(muxes.size());
+  for (const TracedMux& m : muxes) excluded.push_back(m.mux);
+  const graph::CircuitGraph g = graph::build_circuit_graph(locked, excluded);
+
+  // Target links (set S): both candidate wires of every MUX.
+  std::vector<graph::Link> targets;
+  likelihoods_.clear();
+  likelihoods_.reserve(muxes.size());
+  for (const TracedMux& m : muxes) {
+    MuxLikelihood ml;
+    ml.mux = m;
+    likelihoods_.push_back(ml);
+    targets.push_back(target_link(g, m.input_a, m.sink));
+    targets.push_back(target_link(g, m.input_b, m.sink));
+  }
+  result.target_links = targets.size();
+
+  // (3) Sample training links and extract enclosing subgraphs.
+  const auto t_sample = std::chrono::steady_clock::now();
+  graph::SamplingOptions sopts;
+  sopts.max_links = opts_.max_train_links;
+  sopts.seed = opts_.seed;
+  const auto link_samples = graph::sample_links(g, targets, sopts);
+  if (link_samples.empty()) throw netlist::NetlistError("MuxLink: no training links available");
+
+  graph::SubgraphOptions sgopts;
+  sgopts.hops = opts_.hops;
+  sgopts.max_nodes = opts_.max_subgraph_nodes;
+  std::vector<gnn::GraphSample> train_set;
+  train_set.reserve(link_samples.size());
+  std::vector<int> sizes;
+  sizes.reserve(link_samples.size());
+  for (const auto& ls : link_samples) {
+    const auto sg = graph::extract_enclosing_subgraph(g, ls.link, sgopts);
+    sizes.push_back(static_cast<int>(sg.num_nodes()));
+    train_set.push_back(gnn::encode_subgraph(sg, opts_.hops, ls.positive ? 1 : 0));
+  }
+  result.training_links = train_set.size();
+  result.sample_seconds = seconds_since(t_sample);
+
+  // (4) Train the DGCNN (or an ensemble of independently seeded models).
+  const auto t_train = std::chrono::steady_clock::now();
+  const int feature_dim = gnn::feature_dim_for_hops(opts_.hops);
+  const int sortpool_k =
+      opts_.sortpool_k > 0 ? opts_.sortpool_k : gnn::choose_sortpool_k(sizes);
+  const int ensemble = std::max(1, opts_.ensemble);
+  std::vector<gnn::Dgcnn> models;
+  models.reserve(ensemble);
+  for (int e = 0; e < ensemble; ++e) {
+    gnn::DgcnnConfig cfg;
+    cfg.sortpool_k = sortpool_k;
+    cfg.learning_rate = opts_.learning_rate;
+    cfg.dropout = opts_.dropout;
+    cfg.seed = opts_.seed + static_cast<std::uint64_t>(e) * 7919;
+    models.emplace_back(feature_dim, cfg);
+    gnn::TrainOptions topts;
+    topts.epochs = opts_.epochs;
+    topts.batch_size = opts_.batch_size;
+    topts.seed = cfg.seed;
+    const auto report = gnn::train_link_predictor(models.back(), train_set, topts);
+    if (e == 0) result.training = report;
+  }
+  result.sortpool_k = sortpool_k;
+  result.feature_dim = feature_dim;
+  result.train_seconds = seconds_since(t_train);
+
+  // (5) Score the target links (ensemble average).
+  const auto t_score = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < likelihoods_.size(); ++i) {
+    const TracedMux& m = likelihoods_[i].mux;
+    const auto sga = graph::extract_enclosing_subgraph(g, target_link(g, m.input_a, m.sink), sgopts);
+    const auto sgb = graph::extract_enclosing_subgraph(g, target_link(g, m.input_b, m.sink), sgopts);
+    const auto ga = gnn::encode_subgraph(sga, opts_.hops, 0);
+    const auto gb = gnn::encode_subgraph(sgb, opts_.hops, 0);
+    double sum_a = 0.0, sum_b = 0.0;
+    for (auto& model : models) {
+      sum_a += model.predict(ga);
+      sum_b += model.predict(gb);
+    }
+    likelihoods_[i].score_a = sum_a / ensemble;
+    likelihoods_[i].score_b = sum_b / ensemble;
+  }
+  result.score_seconds = seconds_since(t_score);
+
+  // (6) Post-processing.
+  result.key = post_process(opts_.threshold);
+  result.likelihoods = likelihoods_;
+  result.localities = localities_;
+  result.total_seconds = seconds_since(t_total);
+  return result;
+}
+
+std::vector<KeyBit> MuxLinkAttack::post_process(double threshold) const {
+  if (likelihoods_.empty()) throw std::logic_error("MuxLink: run() must precede post_process()");
+  std::vector<KeyBit> key(key_bits_, KeyBit::kUnknown);
+
+  // Likelihood difference of one MUX and the key value passing its stronger
+  // candidate wire.
+  auto delta_of = [&](const MuxLikelihood& ml) {
+    return std::abs(ml.score_a - ml.score_b);
+  };
+  auto winning_bit = [&](const MuxLikelihood& ml) {
+    return ml.score_a > ml.score_b ? KeyBit::kZero : KeyBit::kOne;
+  };
+  auto winning_driver = [&](const MuxLikelihood& ml) {
+    return ml.score_a > ml.score_b ? ml.mux.input_a : ml.mux.input_b;
+  };
+
+  for (const TracedLocality& loc : localities_) {
+    switch (loc.kind) {
+      case TracedLocality::Kind::kSingle: {  // S2 / S3
+        const MuxLikelihood& ml = likelihoods_[loc.muxes[0]];
+        if (delta_of(ml) >= threshold) key[ml.mux.key_bit] = winning_bit(ml);
+        break;
+      }
+      case TracedLocality::Kind::kShared: {  // S4: one bit, two MUXes
+        const MuxLikelihood& m1 = likelihoods_[loc.muxes[0]];
+        const MuxLikelihood& m2 = likelihoods_[loc.muxes[1]];
+        const double d1 = delta_of(m1);
+        const double d2 = delta_of(m2);
+        if (d1 < threshold && d2 < threshold) break;
+        const MuxLikelihood& winner = d1 >= d2 ? m1 : m2;
+        key[winner.mux.key_bit] = winning_bit(winner);
+        break;
+      }
+      case TracedLocality::Kind::kPaired: {  // S1 / S5 (Algorithm 1)
+        const MuxLikelihood& m1 = likelihoods_[loc.muxes[0]];
+        const MuxLikelihood& m2 = likelihoods_[loc.muxes[1]];
+        const double d1 = delta_of(m1);
+        const double d2 = delta_of(m2);
+        if (d1 < threshold && d2 < threshold) break;
+        const MuxLikelihood& winner = d1 >= d2 ? m1 : m2;
+        const MuxLikelihood& other = d1 >= d2 ? m2 : m1;
+        key[winner.mux.key_bit] = winning_bit(winner);
+        // Complementary assignment (Algorithm 1 lines 7-15): the other MUX
+        // must route the remaining wire of the shared {f_i, f_j} pair.
+        const GateId taken = winning_driver(winner);
+        if (other.mux.input_a != taken && other.mux.input_b == taken) {
+          key[other.mux.key_bit] = KeyBit::kZero;
+        } else if (other.mux.input_b != taken && other.mux.input_a == taken) {
+          key[other.mux.key_bit] = KeyBit::kOne;
+        } else if (other.mux.input_a == taken && other.mux.input_b == taken) {
+          // Degenerate (both inputs identical): nothing to decide.
+        } else {
+          // Shared pair but winner picked a wire the other MUX does not
+          // carry — fall back to the other MUX's own likelihoods.
+          if (delta_of(other) >= threshold) key[other.mux.key_bit] = winning_bit(other);
+        }
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+Netlist recover_design(const Netlist& locked, const std::vector<KeyBit>& key) {
+  const auto keys = attacks::find_key_inputs(locked);
+  if (keys.size() != key.size()) {
+    throw std::invalid_argument("recover_design: key size mismatch");
+  }
+  std::vector<std::pair<std::string, bool>> pins;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] != KeyBit::kUnknown) pins.emplace_back(keys[i].name, key[i] == KeyBit::kOne);
+  }
+  return synth::hardcode_inputs(locked, pins);
+}
+
+}  // namespace muxlink::core

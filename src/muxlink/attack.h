@@ -1,0 +1,99 @@
+// MuxLink: the paper's GNN-based link-prediction attack (Fig. 5).
+//
+// Pipeline on a bare locked netlist (oracle-less; no defender metadata):
+//   1. trace key inputs, locate + remove the key MUXes;
+//   2. build the undirected gate graph, mark the MUX input pairs as target
+//      links (set S);
+//   3. sample balanced positive/negative training links, extract h-hop
+//      enclosing subgraphs, DRNL-label them;
+//   4. train the DGCNN link predictor (10% validation, best checkpoint);
+//   5. score each target link's likelihood;
+//   6. post-process likelihoods into key bits (Algorithm 1 for paired /
+//      shared localities, the δ-rule for single MUXes), X when undecided.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attacks/key_trace.h"
+#include "gnn/dgcnn.h"
+#include "gnn/trainer.h"
+#include "graph/circuit_graph.h"
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::core {
+
+struct MuxLinkOptions {
+  int hops = 3;               // h: enclosing-subgraph radius (paper default)
+  double threshold = 0.01;    // th: post-processing decision threshold
+  std::size_t max_train_links = 100000;  // paper cap
+  std::size_t max_subgraph_nodes = 0;    // 0 = unbounded
+  std::uint64_t seed = 1;
+
+  // DGCNN topology defaults follow §IV; sortpool_k is derived from the
+  // training subgraph sizes (60th percentile) unless set here (> 0).
+  int sortpool_k = 0;
+  double learning_rate = 1e-4;
+  double dropout = 0.5;
+  int epochs = 100;
+  int batch_size = 32;
+
+  // Extension (not in the paper): train `ensemble` independently seeded
+  // models and average the target-link likelihoods. Multiplies training
+  // time; reduces the variance of the δ comparisons on small circuits.
+  int ensemble = 1;
+};
+
+// Likelihood bookkeeping for one traced key MUX: the two candidate links
+// and their GNN scores.
+struct MuxLikelihood {
+  attacks::TracedMux mux;
+  double score_a = 0.0;  // likelihood of (input_a -> sink); key bit 0
+  double score_b = 0.0;  // likelihood of (input_b -> sink); key bit 1
+};
+
+struct MuxLinkResult {
+  std::vector<locking::KeyBit> key;  // indexed by key-bit
+  std::vector<MuxLikelihood> likelihoods;
+  std::vector<attacks::TracedLocality> localities;
+  gnn::TrainReport training;
+  int sortpool_k = 0;
+  int feature_dim = 0;
+  std::size_t training_links = 0;
+  std::size_t target_links = 0;
+  double sample_seconds = 0.0;
+  double train_seconds = 0.0;
+  double score_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+class MuxLinkAttack {
+ public:
+  explicit MuxLinkAttack(const MuxLinkOptions& opts = {}) : opts_(opts) {}
+
+  // Runs the full pipeline. Throws NetlistError when the netlist has no
+  // key-controlled MUXes.
+  MuxLinkResult run(const netlist::Netlist& locked);
+
+  // Re-derives the key from the stored likelihoods under a different
+  // threshold — no retraining needed (paper Fig. 9). Requires a prior run().
+  std::vector<locking::KeyBit> post_process(double threshold) const;
+
+  const MuxLinkOptions& options() const noexcept { return opts_; }
+
+ private:
+  MuxLinkOptions opts_;
+  std::vector<MuxLikelihood> likelihoods_;
+  std::vector<attacks::TracedLocality> localities_;
+  std::size_t key_bits_ = 0;
+};
+
+// Rewires the locked netlist according to the deciphered key: decided bits
+// hard-code their key input (the MUX folds away); X bits leave the key input
+// free. `key[i]` pairs with key input i.
+netlist::Netlist recover_design(const netlist::Netlist& locked,
+                                const std::vector<locking::KeyBit>& key);
+
+}  // namespace muxlink::core

@@ -1,0 +1,52 @@
+// Structural analyses over a Netlist: topological order, combinational-loop
+// detection, cone membership, output reachability, depth, and summary stats.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::netlist {
+
+// Kahn topological order over all gates (inputs first). Throws NetlistError
+// if the netlist contains a combinational loop.
+std::vector<GateId> topological_order(const Netlist& nl);
+
+// True iff the netlist contains a combinational cycle.
+bool has_combinational_loop(const Netlist& nl);
+
+// True iff `descendant` is in the transitive fanout of `root` (root itself
+// excluded unless it lies on a cycle through itself).
+bool in_transitive_fanout(const Netlist& nl, GateId root, GateId descendant);
+
+// All gates in the transitive fanin cone of `root` (root included).
+std::vector<bool> fanin_cone(const Netlist& nl, GateId root);
+
+// All gates in the transitive fanout cone of `root` (root included).
+std::vector<bool> fanout_cone(const Netlist& nl, GateId root);
+
+// reaches_output[g] is true iff g is a PO or drives one transitively.
+std::vector<bool> reaches_output(const Netlist& nl);
+
+// Logic level of every gate (inputs/constants at level 0). Requires acyclic.
+std::vector<int> logic_levels(const Netlist& nl);
+
+struct NetlistStats {
+  std::size_t num_gates = 0;       // all gates including PIs
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_logic_gates = 0; // gates excluding PIs and constants
+  int depth = 0;                   // max logic level
+  std::size_t count_by_type[kNumGateTypes] = {};
+  std::size_t multi_output_gates = 0;   // logic gates driving >= 2 sink gates
+  std::size_t single_output_gates = 0;  // logic gates driving exactly 1 sink gate
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+// Multi-line human-readable report used by examples and tools.
+std::string format_stats(const NetlistStats& stats);
+
+}  // namespace muxlink::netlist

@@ -1,0 +1,193 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/analysis.h"
+
+namespace muxlink::netlist {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw BenchParseError("BENCH parse error at line " + std::to_string(line_no) + ": " + what);
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type;
+  std::vector<std::string> fanin_names;
+  int line_no;
+};
+
+// "FUNC(a, b)" -> FUNC + operand names. Returns false if no parentheses.
+bool split_call(std::string_view rhs, std::string_view& func,
+                std::vector<std::string>& operands) {
+  const auto open = rhs.find('(');
+  const auto close = rhs.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    return false;
+  }
+  func = trim(rhs.substr(0, open));
+  operands.clear();
+  std::string_view args = rhs.substr(open + 1, close - open - 1);
+  std::size_t start = 0;
+  while (start <= args.size()) {
+    const auto comma = args.find(',', start);
+    std::string_view tok = comma == std::string_view::npos ? args.substr(start)
+                                                           : args.substr(start, comma - start);
+    tok = trim(tok);
+    if (!tok.empty()) operands.emplace_back(tok);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string name) {
+  Netlist nl(std::move(name));
+  std::vector<PendingGate> pending;
+  std::vector<std::pair<std::string, int>> output_names;
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    std::string_view func;
+    std::vector<std::string> operands;
+    if (eq == std::string_view::npos) {
+      if (!split_call(line, func, operands)) fail(line_no, "expected INPUT/OUTPUT/assignment");
+      std::string upper;
+      for (char c : func) upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      if (operands.size() != 1) fail(line_no, "INPUT/OUTPUT takes exactly one name");
+      if (upper == "INPUT") {
+        nl.add_input(operands[0]);
+      } else if (upper == "OUTPUT") {
+        output_names.emplace_back(operands[0], line_no);
+      } else {
+        fail(line_no, "unknown directive '" + std::string(func) + "'");
+      }
+      continue;
+    }
+
+    const std::string_view lhs = trim(line.substr(0, eq));
+    const std::string_view rhs = trim(line.substr(eq + 1));
+    if (lhs.empty()) fail(line_no, "empty signal name");
+    if (!split_call(rhs, func, operands)) fail(line_no, "expected FUNC(args)");
+    const auto type = gate_type_from_string(func);
+    if (!type) fail(line_no, "unknown gate function '" + std::string(func) + "'");
+    if (*type == GateType::kInput) fail(line_no, "INPUT cannot appear on an assignment");
+    pending.push_back(PendingGate{std::string(lhs), *type, std::move(operands), line_no});
+  }
+
+  // Gate definitions may be in any order: resolve with a Kahn-style pass
+  // over the pending definitions (the netlist builder needs fanin ids to
+  // exist). A stall means an undefined signal or a combinational loop.
+  std::unordered_map<std::string, std::size_t> pending_by_name;
+  pending_by_name.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (nl.contains(pending[i].name)) fail(pending[i].line_no, "redefinition of an INPUT");
+    if (!pending_by_name.emplace(pending[i].name, i).second) {
+      fail(pending[i].line_no, "duplicate definition of '" + pending[i].name + "'");
+    }
+  }
+  std::vector<std::vector<std::size_t>> dependents(pending.size());
+  std::vector<std::size_t> unresolved(pending.size(), 0);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    for (const std::string& fn : pending[i].fanin_names) {
+      if (auto it = pending_by_name.find(fn); it != pending_by_name.end()) {
+        dependents[it->second].push_back(i);
+        ++unresolved[i];
+      } else if (!nl.contains(fn)) {
+        fail(pending[i].line_no, "undefined signal '" + fn + "'");
+      }
+    }
+    if (unresolved[i] == 0) ready.push_back(i);
+  }
+  std::size_t placed = 0;
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const PendingGate& pg = pending[ready[head]];
+    std::vector<GateId> fanins;
+    fanins.reserve(pg.fanin_names.size());
+    for (const std::string& fn : pg.fanin_names) fanins.push_back(nl.find(fn));
+    try {
+      nl.add_gate(pg.name, pg.type, std::move(fanins));
+    } catch (const NetlistError& e) {
+      fail(pg.line_no, e.what());
+    }
+    ++placed;
+    for (std::size_t dep : dependents[ready[head]]) {
+      if (--unresolved[dep] == 0) ready.push_back(dep);
+    }
+  }
+  if (placed != pending.size()) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (!nl.contains(pending[i].name)) {
+        fail(pending[i].line_no, "combinational loop involving '" + pending[i].name + "'");
+      }
+    }
+  }
+
+  for (const auto& [oname, oline] : output_names) {
+    const GateId o = nl.find(oname);
+    if (o == kNullGate) fail(oline, "OUTPUT names undefined signal '" + oname + "'");
+    nl.mark_output(o);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist read_bench_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw BenchParseError("cannot open '" + path.string() + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_bench(buf.str(), path.stem().string());
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# " << nl.name() << " — emitted by muxlink\n";
+  for (GateId i : nl.inputs()) os << "INPUT(" << nl.gate(i).name << ")\n";
+  for (GateId o : nl.outputs()) os << "OUTPUT(" << nl.gate(o).name << ")\n";
+  os << '\n';
+  for (GateId g : topological_order(nl)) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    os << gate.name << " = " << to_string(gate.type) << '(';
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << nl.gate(gate.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw NetlistError("cannot write '" + path.string() + "'");
+  out << write_bench(nl);
+}
+
+}  // namespace muxlink::netlist

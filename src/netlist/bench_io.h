@@ -1,0 +1,40 @@
+// BENCH format reader/writer.
+//
+// Grammar accepted (the dialect used by the ISCAS/ITC distributions and by
+// the SWEEP / SCOPE / MuxLink tool chains):
+//
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)           # may appear before the driving gate is defined
+//   name = FUNC(a, b, ...) # FUNC in {BUF(F), NOT/INV, AND, NAND, OR, NOR,
+//                          #          XOR, XNOR, MUX, CONST0/1}
+//
+// OUTPUT lines create no gate; they mark the named signal as a PO.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::netlist {
+
+class BenchParseError : public NetlistError {
+ public:
+  using NetlistError::NetlistError;
+};
+
+// Parses BENCH text. `name` becomes the netlist name. Throws BenchParseError
+// with a line-located message on malformed input.
+Netlist parse_bench(std::string_view text, std::string name = "bench");
+
+Netlist read_bench_file(const std::filesystem::path& path);
+
+// Emits the netlist in BENCH syntax: INPUT lines, OUTPUT lines, then gate
+// definitions in topological order.
+std::string write_bench(const Netlist& nl);
+
+void write_bench_file(const Netlist& nl, const std::filesystem::path& path);
+
+}  // namespace muxlink::netlist

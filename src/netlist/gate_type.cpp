@@ -1,0 +1,68 @@
+#include "netlist/gate_type.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace muxlink::netlist {
+namespace {
+
+constexpr std::array<std::string_view, kNumGateTypes> kNames = {
+    "INPUT", "BUF", "NOT", "AND", "NAND", "OR",
+    "NOR",   "XOR", "XNOR", "MUX", "CONST0", "CONST1",
+};
+
+}  // namespace
+
+std::string_view to_string(GateType type) noexcept {
+  return kNames[static_cast<std::size_t>(type)];
+}
+
+std::optional<GateType> gate_type_from_string(std::string_view name) noexcept {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  for (int i = 0; i < kNumGateTypes; ++i) {
+    if (upper == kNames[static_cast<std::size_t>(i)]) return static_cast<GateType>(i);
+  }
+  // Common BENCH aliases.
+  if (upper == "BUFF") return GateType::kBuf;
+  if (upper == "INV") return GateType::kNot;
+  if (upper == "VCC" || upper == "CONST_1") return GateType::kConst1;
+  if (upper == "GND" || upper == "CONST_0") return GateType::kConst0;
+  return std::nullopt;
+}
+
+int min_fanin(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+int max_fanin(GateType type) noexcept {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    default:
+      return -1;  // unbounded
+  }
+}
+
+}  // namespace muxlink::netlist

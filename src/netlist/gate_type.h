@@ -1,0 +1,48 @@
+// Gate types for the BENCH-level combinational netlist model.
+//
+// The model follows the BENCH format used by the logic-locking community
+// (ISCAS-85 / ITC-99 distributions, SWEEP/SCOPE/MuxLink tooling):
+// single-output gates, arbitrary fanin for the symmetric functions, and a
+// 3-input MUX(sel, a, b) primitive used exclusively by MUX-based locking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace muxlink::netlist {
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input (no fanin)
+  kBuf,     // identity
+  kNot,     // inverter
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,     // MUX(sel, a, b): sel == 0 -> a, sel == 1 -> b
+  kConst0,  // constant 0 (appears after key hard-coding / constant folding)
+  kConst1,  // constant 1
+};
+
+inline constexpr int kNumGateTypes = 12;
+
+// Human/BENCH-facing name of a gate type ("AND", "MUX", ...).
+std::string_view to_string(GateType type) noexcept;
+
+// Parse a BENCH function name (case-insensitive). Returns nullopt on an
+// unknown name so the parser can produce a located diagnostic.
+std::optional<GateType> gate_type_from_string(std::string_view name) noexcept;
+
+// Minimum/maximum allowed fanin count (max < 0 means unbounded).
+int min_fanin(GateType type) noexcept;
+int max_fanin(GateType type) noexcept;
+
+// True for the 2-state constant generators.
+inline bool is_constant(GateType type) noexcept {
+  return type == GateType::kConst0 || type == GateType::kConst1;
+}
+
+}  // namespace muxlink::netlist

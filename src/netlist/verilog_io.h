@@ -1,0 +1,44 @@
+// Structural (gate-level) Verilog reader/writer.
+//
+// The logic-locking community exchanges designs as BENCH or as flat
+// gate-level Verilog; this module covers the Verilog side with the subset
+// those netlists use:
+//
+//   module top (a, b, y);
+//     input a, b;
+//     output y;
+//     wire w1;
+//     nand g1 (w1, a, b);   // primitive: output first, then inputs
+//     not  g2 (y, w1);
+//     assign o = w1;        // alias/buffer
+//   endmodule
+//
+// Primitives: and/nand/or/nor/xor/xnor/not/buf. MUXes (non-primitive) are
+// written/read as `mux` instances with (out, sel, a, b) ports. No vectors,
+// no behavioral constructs, single module per file.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::netlist {
+
+class VerilogParseError : public NetlistError {
+ public:
+  using NetlistError::NetlistError;
+};
+
+// Parses structural Verilog text into a netlist (name = module name).
+Netlist parse_verilog(std::string_view text);
+
+Netlist read_verilog_file(const std::filesystem::path& path);
+
+// Emits the netlist as a single structural module.
+std::string write_verilog(const Netlist& nl);
+
+void write_verilog_file(const Netlist& nl, const std::filesystem::path& path);
+
+}  // namespace muxlink::netlist

@@ -1,0 +1,273 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace muxlink::sat {
+
+Var Solver::new_var() {
+  assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return static_cast<Var>(assign_.size());
+}
+
+void Solver::attach(int clause_id) {
+  const auto& c = clauses_[clause_id].lits;
+  watches_[watch_index(c[0])].push_back(clause_id);
+  watches_[watch_index(c[1])].push_back(clause_id);
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return;
+  // A previous solve() may have left a full model on the trail; clause
+  // addition must only ever consult root-level assignments.
+  backtrack(0);
+  // Normalize: drop duplicates and false-by-construction tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return std::abs(a) != std::abs(b) ? std::abs(a) < std::abs(b) : a < b; });
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (std::abs(l) < 1 || std::abs(l) > num_vars()) {
+      throw std::invalid_argument("add_clause: literal out of range");
+    }
+    if (!out.empty() && out.back() == l) continue;
+    if (!out.empty() && out.back() == -l) return;  // tautology
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (out.size() == 1) {
+    // Top-level unit: assign immediately.
+    if (value(out[0]) == kFalse) {
+      ok_ = false;
+      return;
+    }
+    if (value(out[0]) == kUndef) enqueue(out[0], -1);
+    if (propagate() != -1) ok_ = false;
+    return;
+  }
+  clauses_.push_back({std::move(out), false});
+  attach(static_cast<int>(clauses_.size()) - 1);
+}
+
+void Solver::enqueue(Lit l, int reason) {
+  const Var v = std::abs(l);
+  assign_[v - 1] = l > 0 ? kTrue : kFalse;
+  level_[v - 1] = decision_level();
+  reason_[v - 1] = reason;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (prop_head_ < trail_.size()) {
+    const Lit p = trail_[prop_head_++];
+    // Clauses watching -p must find a new watch or propagate/conflict.
+    auto& watch_list = watches_[watch_index(-p)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const int ci = watch_list[i];
+      auto& lits = clauses_[ci].lits;
+      // Ensure the false literal sits at position 1.
+      if (lits[0] == -p) std::swap(lits[0], lits[1]);
+      if (value(lits[0]) == kTrue) {
+        watch_list[keep++] = ci;  // clause satisfied; keep watch
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[watch_index(lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watch_list[keep++] = ci;
+      if (value(lits[0]) == kFalse) {
+        // Conflict: restore remaining watches.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        return ci;
+      }
+      enqueue(lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(Var v) {
+  activity_[v - 1] += var_inc_;
+  if (activity_[v - 1] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay() { var_inc_ /= 0.95; }
+
+void Solver::analyze(int conflict, std::vector<Lit>& learnt, int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting literal
+  std::vector<bool> seen(num_vars(), false);
+  int counter = 0;
+  Lit p = 0;
+  int reason_clause = conflict;
+  std::size_t index = trail_.size();
+
+  do {
+    const auto& lits = clauses_[reason_clause].lits;
+    for (const Lit q : lits) {
+      if (q == p) continue;
+      const Var v = std::abs(q);
+      if (!seen[v - 1] && level_[v - 1] > 0) {
+        seen[v - 1] = true;
+        bump(v);
+        if (level_[v - 1] >= decision_level()) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Pick the next literal to resolve from the trail.
+    while (!seen[std::abs(trail_[index - 1]) - 1]) --index;
+    p = trail_[--index];
+    seen[std::abs(p) - 1] = false;
+    reason_clause = reason_[std::abs(p) - 1];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = -p;
+
+  // Backtrack level: second-highest level in the learnt clause.
+  backtrack_level = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    backtrack_level = std::max(backtrack_level, level_[std::abs(learnt[i]) - 1]);
+  }
+  // Move a literal of that level to position 1 (watch invariant).
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[std::abs(learnt[i]) - 1] == backtrack_level) {
+      std::swap(learnt[1], learnt[i]);
+      break;
+    }
+  }
+}
+
+void Solver::backtrack(int target_level) {
+  while (decision_level() > target_level) {
+    const int limit = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (static_cast<int>(trail_.size()) > limit) {
+      const Var v = std::abs(trail_.back());
+      assign_[v - 1] = kUndef;
+      reason_[v - 1] = -1;
+      trail_.pop_back();
+    }
+  }
+  prop_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  // Highest-activity unassigned variable; random tiebreak-ish polarity.
+  Var best = 0;
+  double best_act = -1.0;
+  for (Var v = 1; v <= num_vars(); ++v) {
+    if (assign_[v - 1] == kUndef && activity_[v - 1] > best_act) {
+      best_act = activity_[v - 1];
+      best = v;
+    }
+  }
+  if (best == 0) return 0;
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return (rng_state_ & 1) != 0 ? best : -best;
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_budget) {
+  if (!ok_) return Result::kUnsat;
+  backtrack(0);
+  if (propagate() != -1) {
+    ok_ = false;
+    return Result::kUnsat;
+  }
+
+  // Place assumptions as decisions.
+  for (const Lit a : assumptions) {
+    if (value(a) == kTrue) continue;
+    if (value(a) == kFalse) {
+      backtrack(0);
+      return Result::kUnsat;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(a, -1);
+    if (propagate() != -1) {
+      backtrack(0);
+      return Result::kUnsat;
+    }
+  }
+  const int root_level = decision_level();
+
+  std::int64_t conflicts_here = 0;
+  std::int64_t restart_limit = 100;
+  while (true) {
+    const int conflict = propagate();
+    if (conflict != -1) {
+      ++total_conflicts_;
+      ++conflicts_here;
+      if (decision_level() == root_level) {
+        backtrack(0);
+        return Result::kUnsat;
+      }
+      std::vector<Lit> learnt;
+      int back_level = 0;
+      analyze(conflict, learnt, back_level);
+      backtrack(std::max(back_level, root_level));
+      if (learnt.size() == 1) {
+        if (value(learnt[0]) == kFalse) {
+          backtrack(0);
+          return Result::kUnsat;
+        }
+        if (value(learnt[0]) == kUndef) enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back({learnt, true});
+        const int ci = static_cast<int>(clauses_.size()) - 1;
+        attach(ci);
+        enqueue(learnt[0], ci);
+      }
+      decay();
+      if (conflict_budget >= 0 && conflicts_here > conflict_budget) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      if (conflicts_here >= restart_limit) {
+        restart_limit = restart_limit * 3 / 2;
+        backtrack(root_level);
+      }
+      continue;
+    }
+    const Lit branch = pick_branch();
+    if (branch == 0) return Result::kSat;  // full assignment
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(branch, -1);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  if (v < 1 || v > num_vars()) throw std::invalid_argument("model_value: bad var");
+  return assign_[v - 1] == kTrue;
+}
+
+}  // namespace muxlink::sat

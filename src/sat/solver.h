@@ -1,0 +1,84 @@
+// Minimal CDCL SAT solver (watched literals, first-UIP clause learning,
+// activity-based decisions, restarts). Substrate for the oracle-guided SAT
+// attack baseline [2] — the *other* threat model the paper contrasts with:
+// oracle-guided attacks break MUX locking too, but need a working chip.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+namespace muxlink::sat {
+
+// Variables are 1-based; a literal is +v or -v (DIMACS convention).
+using Var = int;
+using Lit = int;
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+class Solver {
+ public:
+  Solver() = default;
+
+  // Allocates and returns a fresh variable.
+  Var new_var();
+  int num_vars() const noexcept { return static_cast<int>(assign_.size()); }
+
+  // Adds a clause (empty clause makes the instance trivially UNSAT).
+  void add_clause(std::vector<Lit> lits);
+  void add_unit(Lit l) { add_clause({l}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  // Solves under optional assumptions. Returns kSat/kUnsat (kUnknown only
+  // if conflict_budget is hit). The model is valid until the next call.
+  Result solve(const std::vector<Lit>& assumptions = {}, std::int64_t conflict_budget = -1);
+
+  // Value of a variable in the current model (solve() must have returned
+  // kSat). False when unassigned (pure variables may stay unassigned).
+  bool model_value(Var v) const;
+
+  std::size_t num_clauses() const noexcept { return clauses_.size(); }
+  std::int64_t conflicts() const noexcept { return total_conflicts_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+  };
+
+  enum : std::int8_t { kUndef = 0, kTrue = 1, kFalse = -1 };
+
+  std::int8_t value(Lit l) const {
+    const std::int8_t a = assign_[std::abs(l) - 1];
+    return l > 0 ? a : static_cast<std::int8_t>(-a);
+  }
+  void enqueue(Lit l, int reason);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump(Var v);
+  void decay();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // watches_[lit index] -> clause ids
+  std::vector<std::int8_t> assign_;        // per var
+  std::vector<int> level_;                 // per var
+  std::vector<int> reason_;                // per var, clause id or -1
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t prop_head_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  bool ok_ = true;
+  std::int64_t total_conflicts_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+
+  int watch_index(Lit l) const { return 2 * (std::abs(l) - 1) + (l > 0 ? 0 : 1); }
+  void attach(int clause_id);
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+};
+
+}  // namespace muxlink::sat

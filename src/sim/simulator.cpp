@@ -1,0 +1,205 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace muxlink::sim {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+Word eval_gate(GateType type, std::span<const Word> fanins) {
+  switch (type) {
+    case GateType::kInput:
+      throw std::logic_error("eval_gate: INPUT has no function");
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return ~Word{0};
+    case GateType::kBuf:
+      return fanins[0];
+    case GateType::kNot:
+      return ~fanins[0];
+    case GateType::kMux:
+      // MUX(sel, a, b): sel == 0 -> a.
+      return (~fanins[0] & fanins[1]) | (fanins[0] & fanins[2]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Word v = ~Word{0};
+      for (Word f : fanins) v &= f;
+      return type == GateType::kAnd ? v : ~v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Word v = 0;
+      for (Word f : fanins) v |= f;
+      return type == GateType::kOr ? v : ~v;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Word v = 0;
+      for (Word f : fanins) v ^= f;
+      return type == GateType::kXor ? v : ~v;
+    }
+  }
+  throw std::logic_error("eval_gate: unhandled gate type");
+}
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl), order_(netlist::topological_order(nl)) {}
+
+std::vector<Word> Simulator::run(std::span<const Word> input_words) const {
+  const auto& inputs = nl_->inputs();
+  if (input_words.size() != inputs.size()) {
+    throw std::invalid_argument("Simulator::run: expected " + std::to_string(inputs.size()) +
+                                " input words, got " + std::to_string(input_words.size()));
+  }
+  std::vector<Word> value(nl_->num_gates(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) value[inputs[i]] = input_words[i];
+
+  std::vector<Word> fan;
+  for (GateId g : order_) {
+    const Gate& gate = nl_->gate(g);
+    if (gate.type == GateType::kInput) continue;
+    fan.clear();
+    for (GateId f : gate.fanins) fan.push_back(value[f]);
+    value[g] = eval_gate(gate.type, fan);
+  }
+  return value;
+}
+
+std::vector<bool> Simulator::run_single(std::span<const bool> inputs) const {
+  std::vector<Word> words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) words[i] = inputs[i] ? 1 : 0;
+  const auto value = run(words);
+  std::vector<bool> out;
+  out.reserve(nl_->outputs().size());
+  for (GateId o : nl_->outputs()) out.push_back((value[o] & 1) != 0);
+  return out;
+}
+
+std::vector<bool> Simulator::run_single(const std::vector<bool>& inputs) const {
+  std::vector<Word> words(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) words[i] = inputs[i] ? 1 : 0;
+  const auto value = run(words);
+  std::vector<bool> out;
+  out.reserve(nl_->outputs().size());
+  for (GateId o : nl_->outputs()) out.push_back((value[o] & 1) != 0);
+  return out;
+}
+
+std::vector<Word> Simulator::output_words(std::span<const Word> gate_words) const {
+  std::vector<Word> out;
+  out.reserve(nl_->outputs().size());
+  for (GateId o : nl_->outputs()) out.push_back(gate_words[o]);
+  return out;
+}
+
+std::vector<Word> PatternGenerator::next_block(std::size_t num_inputs) {
+  std::vector<Word> block(num_inputs);
+  for (Word& w : block) w = rng_();
+  return block;
+}
+
+namespace {
+
+// Shared driver for HD / equivalence: streams pattern blocks through both
+// designs with name-matched inputs and reports per-block PO words.
+struct PairedRunner {
+  const Netlist* a;
+  const Netlist* b;
+  Simulator sim_a;
+  Simulator sim_b;
+  // For each of b's inputs: index into a's input block, or -1 -> fixed word.
+  std::vector<int> b_source;
+  std::vector<Word> b_fixed;
+  // PO id in b for each PO of a (name-matched).
+  std::vector<GateId> b_output_of_a;
+
+  PairedRunner(const Netlist& na, const Netlist& nb, const HammingOptions& opts)
+      : a(&na), b(&nb), sim_a(na), sim_b(nb) {
+    std::unordered_map<std::string, std::size_t> a_input_pos;
+    for (std::size_t i = 0; i < na.inputs().size(); ++i) {
+      a_input_pos.emplace(na.gate(na.inputs()[i]).name, i);
+    }
+    std::unordered_map<std::string, bool> extra;
+    for (const auto& [name, bit] : opts.extra_inputs_b) extra.emplace(name, bit);
+
+    for (GateId ib : nb.inputs()) {
+      const std::string& name = nb.gate(ib).name;
+      if (auto it = a_input_pos.find(name); it != a_input_pos.end()) {
+        b_source.push_back(static_cast<int>(it->second));
+        b_fixed.push_back(0);
+        a_input_pos.erase(it);
+      } else {
+        b_source.push_back(-1);
+        const auto ex = extra.find(name);
+        b_fixed.push_back(ex != extra.end() && ex->second ? ~Word{0} : 0);
+      }
+    }
+    if (!a_input_pos.empty()) {
+      throw std::invalid_argument("paired simulation: input '" + a_input_pos.begin()->first +
+                                  "' of '" + na.name() + "' missing from '" + nb.name() + "'");
+    }
+    for (GateId oa : na.outputs()) {
+      const GateId ob = nb.find(na.gate(oa).name);
+      if (ob == netlist::kNullGate || !nb.is_output(ob)) {
+        throw std::invalid_argument("paired simulation: output '" + na.gate(oa).name +
+                                    "' missing from '" + nb.name() + "'");
+      }
+      b_output_of_a.push_back(ob);
+    }
+  }
+
+  // Returns (differing bits, total bits) for one 64-pattern block, with only
+  // the lowest `valid_bits` patterns counted.
+  std::pair<std::uint64_t, std::uint64_t> diff_block(std::span<const Word> a_inputs,
+                                                     int valid_bits) {
+    std::vector<Word> bin(b_source.size());
+    for (std::size_t i = 0; i < b_source.size(); ++i) {
+      bin[i] = b_source[i] >= 0 ? a_inputs[static_cast<std::size_t>(b_source[i])] : b_fixed[i];
+    }
+    const auto va = sim_a.run(a_inputs);
+    const auto vb = sim_b.run(bin);
+    const Word mask = valid_bits >= kWordBits ? ~Word{0} : ((Word{1} << valid_bits) - 1);
+    std::uint64_t diff = 0;
+    for (std::size_t i = 0; i < a->outputs().size(); ++i) {
+      const Word da = va[a->outputs()[i]];
+      const Word db = vb[b_output_of_a[i]];
+      diff += static_cast<std::uint64_t>(std::popcount((da ^ db) & mask));
+    }
+    return {diff, static_cast<std::uint64_t>(valid_bits) * a->outputs().size()};
+  }
+};
+
+}  // namespace
+
+double hamming_distance_percent(const Netlist& a, const Netlist& b, const HammingOptions& opts) {
+  PairedRunner runner(a, b, opts);
+  PatternGenerator gen(opts.seed);
+  std::uint64_t diff = 0, total = 0;
+  for (std::size_t done = 0; done < opts.num_patterns; done += kWordBits) {
+    const int valid = static_cast<int>(std::min<std::size_t>(kWordBits, opts.num_patterns - done));
+    const auto block = gen.next_block(a.inputs().size());
+    const auto [d, t] = runner.diff_block(block, valid);
+    diff += d;
+    total += t;
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(diff) / static_cast<double>(total);
+}
+
+bool functionally_equivalent(const Netlist& a, const Netlist& b, const HammingOptions& opts) {
+  PairedRunner runner(a, b, opts);
+  PatternGenerator gen(opts.seed);
+  for (std::size_t done = 0; done < opts.num_patterns; done += kWordBits) {
+    const auto block = gen.next_block(a.inputs().size());
+    if (runner.diff_block(block, kWordBits).first != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace muxlink::sim

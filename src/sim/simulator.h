@@ -1,0 +1,83 @@
+// Bit-parallel combinational logic simulation.
+//
+// Values are packed 64 patterns per word: bit i of a signal's word holds the
+// signal's value under input pattern i. One topological sweep evaluates all
+// 64 patterns simultaneously — the standard EDA trick that makes the paper's
+// 100k-pattern Hamming-distance runs cheap.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "netlist/analysis.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::sim {
+
+using Word = std::uint64_t;
+inline constexpr int kWordBits = 64;
+
+// Evaluates one gate given already-computed fanin words.
+Word eval_gate(netlist::GateType type, std::span<const Word> fanins);
+
+// Reusable evaluator: caches the topological order of one netlist and
+// evaluates 64 patterns per call.
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const noexcept { return *nl_; }
+
+  // `input_words[i]` supplies 64 pattern bits for inputs()[i].
+  // Returns one word per gate (indexed by GateId).
+  std::vector<Word> run(std::span<const Word> input_words) const;
+
+  // Convenience: single pattern in/out. `inputs[i]` pairs with inputs()[i];
+  // returns one bool per PO in outputs() order.
+  std::vector<bool> run_single(std::span<const bool> inputs) const;
+  // std::vector<bool> is not contiguous, so it gets its own overload.
+  std::vector<bool> run_single(const std::vector<bool>& inputs) const;
+
+  // Extracts PO bits from a run() result (outputs() order).
+  std::vector<Word> output_words(std::span<const Word> gate_words) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<netlist::GateId> order_;
+};
+
+// Deterministic random pattern source.
+class PatternGenerator {
+ public:
+  explicit PatternGenerator(std::uint64_t seed) : rng_(seed) {}
+  // One word (64 patterns) per primary input.
+  std::vector<Word> next_block(std::size_t num_inputs);
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// Hamming distance between two netlists' outputs over `num_patterns` random
+// input patterns: fraction (in %) of differing output bits.
+//
+// The netlists must expose identical PI and PO name sets (order-free); inputs
+// are matched by name. `b` may additionally contain inputs absent from `a`
+// (e.g. key inputs); those are driven by `extra_inputs_b` (matched by name,
+// missing names default to 0).
+struct HammingOptions {
+  std::size_t num_patterns = 100000;
+  std::uint64_t seed = 1;
+  std::vector<std::pair<std::string, bool>> extra_inputs_b;
+};
+
+double hamming_distance_percent(const netlist::Netlist& a, const netlist::Netlist& b,
+                                const HammingOptions& opts = {});
+
+// True iff the two netlists agree on every PO for all tested patterns
+// (`num_patterns` rounded up to a multiple of 64). Matching rules as above.
+bool functionally_equivalent(const netlist::Netlist& a, const netlist::Netlist& b,
+                             const HammingOptions& opts = {});
+
+}  // namespace muxlink::sim

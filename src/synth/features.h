@@ -1,0 +1,38 @@
+// Design-feature extraction for constant-propagation attacks.
+//
+// Mirrors the feature families SWEEP [15] and SCOPE [14] derive from
+// synthesis reports: cell counts per function, area, an activity-based
+// switching-power estimate, logic depth, and net count.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::synth {
+
+struct Features {
+  std::size_t num_logic_gates = 0;
+  std::array<std::size_t, netlist::kNumGateTypes> count_by_type{};
+  double area = 0.0;             // unit-gate-equivalent weighted sum
+  double switching_power = 0.0;  // sum over gates of 2p(1-p) * fanout load
+  int depth = 0;
+  std::size_t num_nets = 0;      // driven signals (PIs + gates with sinks/POs)
+
+  // Fixed-order numeric view for the learning stage of SWEEP.
+  std::vector<double> to_vector() const;
+  static std::vector<std::string> vector_names();
+};
+
+// Area of one gate in unit-gate equivalents (wide gates cost extra).
+double gate_area(netlist::GateType type, std::size_t fanin_count);
+
+// Static signal probabilities: PIs at 0.5, constants exact, independence
+// assumed (the standard TPS approximation).
+std::vector<double> signal_probabilities(const netlist::Netlist& nl);
+
+Features extract_features(const netlist::Netlist& nl);
+
+}  // namespace muxlink::synth

@@ -1,0 +1,44 @@
+// Light re-synthesis engine: constant propagation, algebraic simplification,
+// buffer/double-inverter sweeping, and dead-logic elimination.
+//
+// This is the substrate the SWEEP [15] and SCOPE [14] constant-propagation
+// attacks run on: they hard-code one key-bit at a time, clean the netlist up,
+// and compare design features between the two hypotheses. The paper's
+// authors use a commercial synthesis tool; both attacks only consume feature
+// *deltas*, which any deterministic cleanup engine preserves (DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace muxlink::synth {
+
+// Replaces the primary input `input_name` with the constant `value`.
+// The input pin disappears from the interface. Throws NetlistError if the
+// name is not a primary input.
+netlist::Netlist hardcode_input(const netlist::Netlist& nl, std::string_view input_name,
+                                bool value);
+
+// Hard-codes several primary inputs in one rebuild (e.g. a whole key).
+// Throws NetlistError if any name is not a primary input.
+netlist::Netlist hardcode_inputs(const netlist::Netlist& nl,
+                                 const std::vector<std::pair<std::string, bool>>& values);
+
+struct CleanupOptions {
+  bool propagate_constants = true;
+  bool sweep_buffers = true;        // BUF bypassing + NOT(NOT(x)) = x
+  bool remove_dead_logic = true;    // gates that reach no primary output
+};
+
+// Returns a functionally equivalent, simplified copy of `nl`:
+//  * constants are folded through every gate type (incl. MUX select);
+//  * neutral/dominant inputs are dropped (AND(x,1)=x, OR(x,1)=1, ...);
+//  * buffers and double inverters are swept;
+//  * logic that reaches no PO is deleted (primary inputs are always kept).
+netlist::Netlist cleanup(const netlist::Netlist& nl, const CleanupOptions& opts = {});
+
+}  // namespace muxlink::synth

@@ -1,0 +1,371 @@
+// Tests for the baseline oracle-less attacks: metrics, key tracing, SAAM,
+// SWEEP, and SCOPE — including the headline resilience results the paper
+// re-verifies in Fig. 2 (SWEEP/SCOPE stuck near 50% KPA on D-MUX and
+// symmetric locking) and the positive controls (XOR locking leaks to
+// constant propagation; naive MUX locking falls to SAAM).
+#include <gtest/gtest.h>
+
+#include "attacks/constprop.h"
+#include "attacks/key_trace.h"
+#include "attacks/metrics.h"
+#include "attacks/saam.h"
+#include "circuitgen/generator.h"
+#include "locking/mux_lock.h"
+#include "netlist/bench_io.h"
+
+namespace muxlink::attacks {
+namespace {
+
+using locking::KeyBit;
+using locking::LockedDesign;
+using locking::MuxLockOptions;
+using netlist::Netlist;
+
+Netlist test_circuit(std::uint64_t seed = 1, std::size_t gates = 300) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = seed;
+  spec.num_gates = gates;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  return circuitgen::generate(spec);
+}
+
+// --- metrics -------------------------------------------------------------------
+
+TEST(Metrics, DefinitionsMatchPaper) {
+  // 6 correct, 2 wrong, 2 X out of 10.
+  std::vector<std::uint8_t> truth{0, 0, 0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<KeyBit> pred{KeyBit::kZero, KeyBit::kZero, KeyBit::kZero,  KeyBit::kZero,
+                           KeyBit::kZero, KeyBit::kZero, KeyBit::kZero,  KeyBit::kZero,
+                           KeyBit::kUnknown, KeyBit::kUnknown};
+  const auto s = score_key(truth, pred);
+  EXPECT_EQ(s.total, 10u);
+  EXPECT_EQ(s.correct, 6u);
+  EXPECT_EQ(s.wrong, 2u);
+  EXPECT_EQ(s.undecided, 2u);
+  EXPECT_DOUBLE_EQ(s.accuracy_percent(), 60.0);
+  EXPECT_DOUBLE_EQ(s.precision_percent(), 80.0);
+  EXPECT_DOUBLE_EQ(s.kpa_percent(), 75.0);
+  EXPECT_DOUBLE_EQ(s.decision_rate_percent(), 80.0);
+}
+
+TEST(Metrics, AllUndecidedGivesFullPrecision) {
+  std::vector<std::uint8_t> truth{0, 1};
+  std::vector<KeyBit> pred{KeyBit::kUnknown, KeyBit::kUnknown};
+  const auto s = score_key(truth, pred);
+  EXPECT_DOUBLE_EQ(s.accuracy_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(s.precision_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(s.kpa_percent(), 100.0);
+}
+
+TEST(Metrics, AccumulationAveragesAcrossDesigns) {
+  KeyPredictionScore a{.total = 10, .correct = 9, .wrong = 1, .undecided = 0};
+  KeyPredictionScore b{.total = 10, .correct = 5, .wrong = 1, .undecided = 4};
+  a += b;
+  EXPECT_EQ(a.total, 20u);
+  EXPECT_DOUBLE_EQ(a.accuracy_percent(), 70.0);
+  EXPECT_FALSE(a.to_string().empty());
+}
+
+TEST(Metrics, RejectsSizeMismatch) {
+  EXPECT_THROW(score_key({0, 1}, {KeyBit::kZero}), std::invalid_argument);
+}
+
+// --- key tracing ------------------------------------------------------------------
+
+TEST(KeyTrace, FindsKeyInputsInOrder) {
+  const Netlist nl = test_circuit(3);
+  MuxLockOptions opts;
+  opts.key_bits = 12;
+  const LockedDesign d = locking::lock_dmux(nl, opts);
+  const auto keys = find_key_inputs(d.netlist);
+  ASSERT_EQ(keys.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(keys[i].bit, i);
+}
+
+TEST(KeyTrace, IgnoresOrdinaryInputs) {
+  const Netlist nl = test_circuit(5);
+  EXPECT_TRUE(find_key_inputs(nl).empty());
+}
+
+TEST(KeyTrace, TracedMuxesMatchDefenderRecords) {
+  const Netlist nl = test_circuit(7);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = locking::lock_dmux(nl, opts);
+  const auto traced = trace_key_muxes(d.netlist);
+  ASSERT_EQ(traced.size(), d.key_gates.size());
+  for (const TracedMux& tm : traced) {
+    const auto it = std::find_if(d.key_gates.begin(), d.key_gates.end(),
+                                 [&](const auto& kg) { return kg.gate == tm.mux; });
+    ASSERT_NE(it, d.key_gates.end());
+    EXPECT_EQ(tm.key_bit, it->key_bit);
+    EXPECT_EQ(tm.sink, it->sink);
+    EXPECT_EQ(tm.sink_port, it->sink_port);
+    // The recorded true driver must be one of the traced data inputs.
+    EXPECT_TRUE(tm.input_a == it->true_driver || tm.input_b == it->true_driver);
+  }
+}
+
+TEST(KeyTrace, GroupsDmuxLocalitiesCorrectly) {
+  const Netlist nl = test_circuit(11, 500);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  const LockedDesign d = locking::lock_dmux(nl, opts);
+  const auto traced = trace_key_muxes(d.netlist);
+  const auto groups = group_localities(d.netlist, traced);
+  // Attacker groups must partition the MUXes exactly like the defender's
+  // locality records.
+  std::size_t defender_s1 = 0, defender_s4 = 0, defender_single = 0;
+  for (const auto& loc : d.localities) {
+    switch (loc.strategy) {
+      case locking::Strategy::kS1:
+        ++defender_s1;
+        break;
+      case locking::Strategy::kS4:
+        ++defender_s4;
+        break;
+      default:
+        ++defender_single;
+    }
+  }
+  std::size_t paired = 0, shared = 0, single = 0;
+  for (const auto& g : groups) {
+    switch (g.kind) {
+      case TracedLocality::Kind::kPaired:
+        ++paired;
+        break;
+      case TracedLocality::Kind::kShared:
+        ++shared;
+        break;
+      case TracedLocality::Kind::kSingle:
+        ++single;
+        break;
+    }
+  }
+  EXPECT_EQ(paired, defender_s1);
+  EXPECT_EQ(shared, defender_s4);
+  EXPECT_EQ(single, defender_single);
+}
+
+TEST(KeyTrace, GroupsSymmetricAsPaired) {
+  const Netlist nl = test_circuit(13, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = locking::lock_symmetric(nl, opts);
+  const auto groups = group_localities(d.netlist, trace_key_muxes(d.netlist));
+  ASSERT_EQ(groups.size(), 8u);
+  for (const auto& g : groups) EXPECT_EQ(g.kind, TracedLocality::Kind::kPaired);
+}
+
+TEST(KeyTrace, RejectsKeyOnDataPin) {
+  const Netlist bad = netlist::parse_bench(R"(
+INPUT(a)
+INPUT(b)
+INPUT(keyinput0)
+OUTPUT(y)
+m = MUX(a, keyinput0, b)
+y = BUF(m)
+)");
+  EXPECT_THROW(trace_key_muxes(bad), netlist::NetlistError);
+}
+
+TEST(KeyTrace, RejectsNonContiguousKeyIndices) {
+  const Netlist bad = netlist::parse_bench(R"(
+INPUT(a)
+INPUT(keyinput5)
+OUTPUT(y)
+y = AND(a, keyinput5)
+)");
+  EXPECT_THROW(find_key_inputs(bad), netlist::NetlistError);
+}
+
+// --- SAAM ---------------------------------------------------------------------------
+
+TEST(Saam, BreaksNaiveMuxLockingWithHighKpa) {
+  const Netlist nl = test_circuit(17, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  opts.seed = 9;
+  const LockedDesign d = locking::lock_naive_mux(nl, opts);
+  const auto key = saam_attack(d.netlist);
+  const auto s = score_key(d.key, key);
+  // SAAM only commits on provable reductions: everything it decides must be
+  // correct, and on naive locking it should decide a meaningful fraction.
+  EXPECT_EQ(s.wrong, 0u);
+  EXPECT_GT(s.correct, 0u);
+  EXPECT_DOUBLE_EQ(s.kpa_percent(), 100.0);
+}
+
+TEST(Saam, CannotDecideDmux) {
+  const Netlist nl = test_circuit(19, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  const LockedDesign d = locking::lock_dmux(nl, opts);
+  const auto s = score_key(d.key, saam_attack(d.netlist));
+  EXPECT_EQ(s.correct + s.wrong, 0u) << "D-MUX must be SAAM-resilient";
+}
+
+TEST(Saam, CannotDecideSymmetric) {
+  const Netlist nl = test_circuit(23, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = locking::lock_symmetric(nl, opts);
+  const auto s = score_key(d.key, saam_attack(d.netlist));
+  EXPECT_EQ(s.correct + s.wrong, 0u) << "symmetric locking must be SAAM-resilient";
+}
+
+// --- SWEEP / SCOPE -------------------------------------------------------------------
+
+Netlist inverter_free_circuit(std::uint64_t seed, std::size_t gates = 300) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = seed;
+  spec.num_gates = gates;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  // No NOT/BUF gates: rules out inverter absorption of the key gate, the
+  // effect TRLL [9] exploits on purpose.
+  spec.mix = {.and_w = 1.5, .nand_w = 1.5, .or_w = 1.0, .nor_w = 1.0,
+              .xor_w = 0.4, .xnor_w = 0.2, .not_w = 0.0, .buf_w = 0.0};
+  return circuitgen::generate(spec);
+}
+
+TEST(Scope, BreaksXorLockingCleanly) {
+  // On an inverter-free design the constant-propagation residue is
+  // unambiguous: the correct hypothesis folds the key gate away, the wrong
+  // one leaves an inverter behind.
+  const Netlist nl = inverter_free_circuit(29);
+  MuxLockOptions opts;
+  opts.key_bits = 24;
+  const LockedDesign d = locking::lock_xor(nl, opts);
+  const auto s = score_key(d.key, scope_attack(d.netlist));
+  EXPECT_GT(s.kpa_percent(), 90.0);
+  EXPECT_GT(s.decision_rate_percent(), 80.0);
+}
+
+TEST(Scope, StillBeatsChanceWithInverterAbsorption) {
+  // On inverter-rich designs the wrong hypothesis sometimes cancels a NOT
+  // (the TRLL effect), so SCOPE loses some bits but stays above chance.
+  const Netlist nl = test_circuit(29, 300);
+  MuxLockOptions opts;
+  opts.key_bits = 24;
+  const LockedDesign d = locking::lock_xor(nl, opts);
+  const auto s = score_key(d.key, scope_attack(d.netlist));
+  EXPECT_GT(s.kpa_percent(), 65.0);
+}
+
+TEST(Scope, NearChanceOnDmux) {
+  const Netlist nl = test_circuit(31, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  const LockedDesign d = locking::lock_dmux(nl, opts);
+  const auto s = score_key(d.key, scope_attack(d.netlist));
+  // The locked localities are feature-symmetric: SCOPE cannot commit to a
+  // meaningful fraction of the key (the paper's Fig. 2 reports the same
+  // failure as ~50% KPA because its synthesis flow adds noise that forces
+  // coin-flip guesses; a noiseless cleanup engine yields X instead).
+  EXPECT_LT(s.accuracy_percent(), 25.0);
+  EXPECT_LT(s.decision_rate_percent(), 25.0);
+}
+
+TEST(Scope, NearChanceOnSymmetric) {
+  const Netlist nl = test_circuit(37, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  const LockedDesign d = locking::lock_symmetric(nl, opts);
+  const auto s = score_key(d.key, scope_attack(d.netlist));
+  EXPECT_LT(s.accuracy_percent(), 25.0);
+  EXPECT_LT(s.decision_rate_percent(), 25.0);
+}
+
+TEST(Sweep, FeatureDiffIsAntisymmetricInKeyValue) {
+  const Netlist nl = test_circuit(41);
+  MuxLockOptions opts;
+  opts.key_bits = 4;
+  const LockedDesign d = locking::lock_xor(nl, opts);
+  const auto diff = key_bit_feature_diff(d.netlist, d.key_input_names[0]);
+  EXPECT_FALSE(diff.empty());
+  // Some component must be non-zero for XOR locking (the leak).
+  double mag = 0.0;
+  for (double x : diff) mag += std::abs(x);
+  EXPECT_GT(mag, 0.0);
+}
+
+TEST(Sweep, LearnsXorLeakAcrossDesigns) {
+  SweepAttack sweep;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Netlist nl = test_circuit(50 + seed, 200);
+    MuxLockOptions opts;
+    opts.key_bits = 16;
+    opts.seed = seed + 1;
+    sweep.add_training_design(locking::lock_xor(nl, opts));
+  }
+  sweep.train();
+  EXPECT_TRUE(sweep.trained());
+  EXPECT_EQ(sweep.num_samples(), 96u);
+
+  const Netlist victim = test_circuit(99, 200);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  opts.seed = 7;
+  const LockedDesign d = locking::lock_xor(victim, opts);
+  const auto s = score_key(d.key, sweep.attack(d.netlist));
+  // Inverter absorption injects label noise, so SWEEP does not reach the
+  // ~95% it reports on commercial flows, but it must clearly beat chance.
+  EXPECT_GT(s.kpa_percent(), 65.0);
+  EXPECT_GT(s.decision_rate_percent(), 40.0);
+}
+
+TEST(Sweep, NearChanceOnDmux) {
+  SweepAttack sweep;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Netlist nl = test_circuit(60 + seed, 250);
+    MuxLockOptions opts;
+    opts.key_bits = 12;
+    opts.seed = seed + 1;
+    sweep.add_training_design(locking::lock_dmux(nl, opts));
+  }
+  sweep.train();
+  const Netlist victim = test_circuit(98, 250);
+  MuxLockOptions opts;
+  opts.key_bits = 12;
+  opts.seed = 5;
+  const LockedDesign d = locking::lock_dmux(victim, opts);
+  const auto s = score_key(d.key, sweep.attack(d.netlist));
+  // No exploitable residue: SWEEP cannot decipher a meaningful fraction of
+  // the key (few, low-confidence decisions).
+  EXPECT_LT(s.accuracy_percent(), 70.0);
+}
+
+TEST(Sweep, RequiresTraining) {
+  SweepAttack sweep;
+  EXPECT_THROW(sweep.train(), std::logic_error);
+  const Netlist nl = test_circuit(43);
+  MuxLockOptions opts;
+  opts.key_bits = 4;
+  const LockedDesign d = locking::lock_xor(nl, opts);
+  EXPECT_THROW(sweep.attack(d.netlist), std::logic_error);
+}
+
+TEST(Sweep, ScoresExposeConfidence) {
+  SweepAttack sweep;
+  const Netlist nl = inverter_free_circuit(47, 200);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = locking::lock_xor(nl, opts);
+  sweep.add_training_design(d);
+  sweep.train();
+  const auto scores = sweep.scores(d.netlist);
+  ASSERT_EQ(scores.size(), 8u);
+  // Training design scored by its own model: signs must match the key.
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (d.key[i] == 0) {
+      EXPECT_GT(scores[i], 0.0) << i;
+    } else {
+      EXPECT_LT(scores[i], 0.0) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace muxlink::attacks

@@ -1,0 +1,220 @@
+// Tests for the synthetic benchmark generator and named suites.
+#include <gtest/gtest.h>
+
+#include <array>
+#include "circuitgen/generator.h"
+#include "circuitgen/suites.h"
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "sim/simulator.h"
+
+namespace muxlink::circuitgen {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+TEST(Generator, RespectsInterfaceCounts) {
+  CircuitSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 5;
+  spec.num_gates = 200;
+  const Netlist nl = generate(spec);
+  EXPECT_EQ(nl.inputs().size(), 12u);
+  EXPECT_EQ(nl.outputs().size(), 5u);
+  const auto s = netlist::compute_stats(nl);
+  EXPECT_NEAR(static_cast<double>(s.num_logic_gates), 200.0, 200.0 * 0.15);
+}
+
+TEST(Generator, IsDeterministicPerSeed) {
+  CircuitSpec spec;
+  spec.seed = 99;
+  spec.num_gates = 150;
+  const std::string a = netlist::write_bench(generate(spec));
+  const std::string b = netlist::write_bench(generate(spec));
+  EXPECT_EQ(a, b);
+  spec.seed = 100;
+  EXPECT_NE(a, netlist::write_bench(generate(spec)));
+}
+
+TEST(Generator, ProducesAcyclicConnectedLogic) {
+  CircuitSpec spec;
+  spec.num_gates = 300;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  const Netlist nl = generate(spec);
+  EXPECT_FALSE(netlist::has_combinational_loop(nl));
+  // Every logic gate must reach a primary output (no dead logic).
+  const auto reach = netlist::reaches_output(nl);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (nl.gate(g).type != GateType::kInput) {
+      EXPECT_TRUE(reach[g]) << "dead gate " << nl.gate(g).name;
+    }
+  }
+}
+
+TEST(Generator, ProducesMultiOutputAndSingleOutputNodes) {
+  // D-MUX strategies S1-S3 need multi-output nodes; S4/S5 need single-output
+  // nodes. The generator must provide both populations.
+  CircuitSpec spec;
+  spec.num_gates = 400;
+  const auto s = netlist::compute_stats(generate(spec));
+  EXPECT_GT(s.multi_output_gates, 20u);
+  EXPECT_GT(s.single_output_gates, 20u);
+}
+
+TEST(Generator, HasReasonableDepth) {
+  CircuitSpec spec;
+  spec.num_gates = 500;
+  spec.num_inputs = 32;
+  const auto s = netlist::compute_stats(generate(spec));
+  EXPECT_GE(s.depth, 6);
+  EXPECT_LE(s.depth, 300);
+}
+
+TEST(Generator, GateMixShapesTypeHistogram) {
+  CircuitSpec spec;
+  spec.num_gates = 600;
+  spec.mix = {.and_w = 0.0, .nand_w = 5.0, .or_w = 0.0, .nor_w = 0.0,
+              .xor_w = 0.0, .xnor_w = 0.0, .not_w = 1.0, .buf_w = 0.0};
+  const Netlist nl = generate(spec);
+  const auto s = netlist::compute_stats(nl);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kOr)], 0u);
+  // Collector gates may add a few AND/OR/XOR, so NAND only dominates.
+  EXPECT_GT(s.count_by_type[static_cast<int>(GateType::kNand)],
+            s.num_logic_gates / 2);
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  CircuitSpec spec;
+  spec.num_inputs = 1;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.num_outputs = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.num_gates = 2;
+  spec.num_outputs = 4;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.mix = {.and_w = 0, .nand_w = 0, .or_w = 0, .nor_w = 0,
+              .xor_w = 0, .xnor_w = 0, .not_w = 0, .buf_w = 0};
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(Generator, SingleTypeVariantForANT) {
+  // The AND netlist test (ANT) of [10] uses designs synthesized from a
+  // single gate type.
+  CircuitSpec spec;
+  spec.num_gates = 200;
+  const Netlist nl = generate_single_type(spec, GateType::kAnd);
+  const auto s = netlist::compute_stats(nl);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kAnd)], s.num_logic_gates);
+  EXPECT_FALSE(netlist::has_combinational_loop(nl));
+}
+
+TEST(Generator, SingleTypeRejectsNonLogic) {
+  CircuitSpec spec;
+  EXPECT_THROW(generate_single_type(spec, GateType::kMux), std::invalid_argument);
+  EXPECT_THROW(generate_single_type(spec, GateType::kInput), std::invalid_argument);
+}
+
+TEST(Generator, GeneratedCircuitSimulates) {
+  CircuitSpec spec;
+  spec.num_gates = 250;
+  const Netlist nl = generate(spec);
+  const sim::Simulator simulator(nl);
+  sim::PatternGenerator gen(3);
+  const auto words = simulator.run(gen.next_block(nl.inputs().size()));
+  EXPECT_EQ(words.size(), nl.num_gates());
+}
+
+// --- Suites ---------------------------------------------------------------
+
+TEST(Suites, RegistriesMatchPaper) {
+  EXPECT_EQ(iscas85_suite().size(), 11u);
+  EXPECT_EQ(itc99_suite().size(), 6u);
+  EXPECT_TRUE(is_known_benchmark("c6288"));
+  EXPECT_TRUE(is_known_benchmark("b17_C"));
+  EXPECT_FALSE(is_known_benchmark("s27"));
+}
+
+TEST(Suites, C17IsGenuine) {
+  const Netlist c17 = make_c17();
+  EXPECT_EQ(c17.inputs().size(), 5u);
+  EXPECT_EQ(c17.outputs().size(), 2u);
+  const auto s = netlist::compute_stats(c17);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kNand)], 6u);
+  // Golden functional vector: all-ones input -> G22=1, G23=0.
+  const sim::Simulator simulator(c17);
+  const std::array<bool, 5> ones{true, true, true, true, true};
+  const auto out = simulator.run_single(ones);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(Suites, MakeBenchmarkMatchesPublishedInterface) {
+  const Netlist c880 = make_benchmark("c880");
+  EXPECT_EQ(c880.inputs().size(), 60u);
+  EXPECT_EQ(c880.outputs().size(), 26u);
+  const auto s = netlist::compute_stats(c880);
+  EXPECT_NEAR(static_cast<double>(s.num_logic_gates), 383.0, 383.0 * 0.15);
+}
+
+TEST(Suites, MakeBenchmarkIsStableAcrossCalls) {
+  EXPECT_EQ(netlist::write_bench(make_benchmark("c432")),
+            netlist::write_bench(make_benchmark("c432")));
+}
+
+TEST(Suites, DifferentBenchmarksDiffer) {
+  EXPECT_NE(netlist::write_bench(make_benchmark("c432")),
+            netlist::write_bench(make_benchmark("c499")));
+}
+
+TEST(Suites, ScaleShrinksProportionally) {
+  const Netlist full = make_benchmark("c3540");
+  const Netlist half = make_benchmark("c3540", 0.5);
+  const auto sf = netlist::compute_stats(full);
+  const auto sh = netlist::compute_stats(half);
+  EXPECT_NEAR(static_cast<double>(sh.num_logic_gates),
+              static_cast<double>(sf.num_logic_gates) / 2.0,
+              static_cast<double>(sf.num_logic_gates) * 0.15);
+  EXPECT_EQ(half.inputs().size(), 25u);
+}
+
+TEST(Suites, RejectsUnknownNameAndBadScale) {
+  EXPECT_THROW(make_benchmark("c9999"), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("c432", 0.0), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("c432", 1.5), std::invalid_argument);
+}
+
+// Every registered benchmark builds, validates, and has both fanout classes
+// (parameterized sweep across the ISCAS-85 suite at reduced scale).
+class SuiteBuild : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteBuild, BuildsHealthyCircuit) {
+  const std::string name = GetParam();
+  const double scale = name.starts_with("b") ? 0.1 : 0.5;
+  const Netlist nl = make_benchmark(name, scale);
+  EXPECT_FALSE(netlist::has_combinational_loop(nl));
+  const auto reach = netlist::reaches_output(nl);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (nl.gate(g).type != GateType::kInput) EXPECT_TRUE(reach[g]);
+  }
+  const auto s = netlist::compute_stats(nl);
+  if (name != std::string("c17")) {
+    EXPECT_GT(s.multi_output_gates, 0u);
+    EXPECT_GT(s.single_output_gates, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteBuild,
+                         ::testing::Values("c17", "c432", "c499", "c880", "c1355", "c1908",
+                                           "c2670", "c3540", "c5315", "c6288", "c7552",
+                                           "b14_C", "b15_C", "b17_C", "b20_C", "b21_C",
+                                           "b22_C"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace muxlink::circuitgen

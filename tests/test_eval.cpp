@@ -1,0 +1,113 @@
+// Tests for the eval layer: table rendering/CSV, protocol selection, the
+// shared lock-and-attack runner, and resilience-test options.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "circuitgen/generator.h"
+#include "eval/protocol.h"
+#include "eval/resilience_tests.h"
+#include "eval/table.h"
+
+namespace muxlink::eval {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::pct(99.999, 1), "100.0%");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quote\"d", "line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("k,v\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,\"a,b\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"d\""), std::string::npos);
+}
+
+TEST(Protocol, ScaledIsDefault) {
+  unsetenv("MUXLINK_FULL");
+  const Protocol p = load_protocol();
+  EXPECT_FALSE(p.full);
+  EXPECT_EQ(p.mode_name(), "scaled");
+  EXPECT_FALSE(p.iscas.empty());
+  EXPECT_FALSE(p.itc.empty());
+  EXPECT_LE(p.max_train_links, 100000u);
+  const auto opts = p.attack_options(7);
+  EXPECT_EQ(opts.epochs, p.epochs);
+  EXPECT_EQ(opts.seed, 7u);
+}
+
+TEST(Protocol, FullModeFollowsPaperSettings) {
+  setenv("MUXLINK_FULL", "1", 1);
+  const Protocol p = load_protocol();
+  unsetenv("MUXLINK_FULL");
+  EXPECT_TRUE(p.full);
+  EXPECT_EQ(p.epochs, 100);
+  EXPECT_DOUBLE_EQ(p.learning_rate, 1e-4);
+  EXPECT_EQ(p.max_train_links, 100000u);
+  EXPECT_EQ(p.iscas.size(), 10u);
+  EXPECT_EQ(p.itc.size(), 6u);
+  // c1355 must not list K = 256 (the paper's size constraint).
+  for (const auto& run : p.iscas) {
+    if (run.name == "c1355") {
+      for (std::size_t k : run.key_sizes) EXPECT_LT(k, 256u);
+    }
+    if (run.name == "c7552") {
+      EXPECT_EQ(run.key_sizes.back(), 256u);
+    }
+  }
+  for (const auto& run : p.itc) EXPECT_EQ(run.key_sizes.back(), 512u);
+}
+
+TEST(Protocol, LockAndAttackWiresEverything) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = 3;
+  spec.num_gates = 150;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  const auto nl = circuitgen::generate(spec);
+  Protocol p = load_protocol();
+  p.epochs = 5;
+  p.max_train_links = 300;
+  auto opts = p.attack_options();
+  opts.epochs = 5;
+  opts.max_train_links = 300;
+  const auto outcome = lock_and_attack(nl, "dmux", 8, opts);
+  EXPECT_EQ(outcome.design.key_size(), 8u);
+  EXPECT_EQ(outcome.score.total, 8u);
+  EXPECT_EQ(outcome.result.key.size(), 8u);
+  EXPECT_THROW(lock_and_attack(nl, "nonsense", 8, opts), std::invalid_argument);
+}
+
+TEST(ResilienceOptions, BandControlsVerdict) {
+  ResilienceTestResult r;
+  r.ant_forced_kpa = 58.0;
+  r.rnt_forced_kpa = 95.0;
+  r.passes_ant = true;
+  r.passes_rnt = false;
+  EXPECT_FALSE(r.learning_resilient());
+  r.passes_rnt = true;
+  EXPECT_TRUE(r.learning_resilient());
+}
+
+}  // namespace
+}  // namespace muxlink::eval

@@ -1,0 +1,467 @@
+// Tests for the locking framework: D-MUX (S1-S4), symmetric (S5), naive MUX,
+// XOR locking, key application, and the security invariants the papers claim
+// (functional preservation under the correct key, no combinational loops, no
+// circuit reduction under wrong keys for the learning-resilient schemes).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "circuitgen/suites.h"
+#include "locking/mux_lock.h"
+#include "locking/resolve.h"
+#include "netlist/analysis.h"
+#include "sim/simulator.h"
+
+namespace muxlink::locking {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+Netlist test_circuit(std::uint64_t seed = 1, std::size_t gates = 300) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = seed;
+  spec.num_gates = gates;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  return circuitgen::generate(spec);
+}
+
+sim::HammingOptions key_pins(const LockedDesign& d) {
+  sim::HammingOptions opts;
+  opts.num_patterns = 2048;
+  for (std::size_t i = 0; i < d.key.size(); ++i) {
+    opts.extra_inputs_b.emplace_back(d.key_input_names[i], d.key[i] != 0);
+  }
+  return opts;
+}
+
+// Routes every key MUX according to `key` (no simplification) and reports
+// whether every original gate still reaches a primary output.
+bool no_reduction_under(const Netlist& original, const LockedDesign& d,
+                        const std::vector<bool>& key) {
+  Netlist routed = d.netlist;  // copy
+  for (const KeyGate& kg : d.key_gates) {
+    const auto& fanins = routed.gate(kg.gate).fanins;
+    if (routed.gate(kg.gate).type != GateType::kMux) continue;  // XOR locking
+    const GateId chosen = key[kg.key_bit] ? fanins[2] : fanins[1];
+    routed.rewrite_gate(kg.gate, GateType::kBuf, {chosen});
+  }
+  const auto reach = netlist::reaches_output(routed);
+  for (GateId g = 0; g < original.num_gates(); ++g) {
+    if (routed.gate(g).type == GateType::kInput) continue;
+    if (!reach[g]) return false;
+  }
+  return true;
+}
+
+// --- shared behaviour across MUX schemes (parameterized) -----------------------
+
+enum class Scheme { kDmux, kDmuxPlain, kSymmetric, kNaive, kXor };
+
+LockedDesign lock_with(Scheme s, const Netlist& nl, MuxLockOptions opts) {
+  switch (s) {
+    case Scheme::kDmux:
+      return lock_dmux(nl, opts);
+    case Scheme::kDmuxPlain:
+      opts.enhanced = false;
+      return lock_dmux(nl, opts);
+    case Scheme::kSymmetric:
+      return lock_symmetric(nl, opts);
+    case Scheme::kNaive:
+      return lock_naive_mux(nl, opts);
+    case Scheme::kXor:
+      return lock_xor(nl, opts);
+  }
+  throw std::logic_error("unknown scheme");
+}
+
+class AllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AllSchemes, CorrectKeyPreservesFunctionality) {
+  const Netlist nl = test_circuit(7);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  opts.seed = 3;
+  const LockedDesign d = lock_with(GetParam(), nl, opts);
+  EXPECT_EQ(d.key.size(), 32u);
+  EXPECT_TRUE(sim::functionally_equivalent(nl, d.netlist, key_pins(d)));
+}
+
+TEST_P(AllSchemes, LockedNetlistIsAcyclicAndValid) {
+  const Netlist nl = test_circuit(11);
+  MuxLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = 5;
+  const LockedDesign d = lock_with(GetParam(), nl, opts);
+  EXPECT_FALSE(netlist::has_combinational_loop(d.netlist));
+  EXPECT_NO_THROW(d.netlist.validate());
+}
+
+TEST_P(AllSchemes, KeyInputsFollowConvention) {
+  const Netlist nl = test_circuit(13);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_with(GetParam(), nl, opts);
+  ASSERT_EQ(d.key_input_names.size(), 16u);
+  for (std::size_t i = 0; i < d.key_input_names.size(); ++i) {
+    EXPECT_EQ(d.key_input_names[i], std::string(kKeyInputPrefix) + std::to_string(i));
+    const GateId kin = d.netlist.find(d.key_input_names[i]);
+    ASSERT_NE(kin, netlist::kNullGate);
+    EXPECT_EQ(d.netlist.gate(kin).type, GateType::kInput);
+  }
+}
+
+TEST_P(AllSchemes, DeterministicPerSeed) {
+  const Netlist nl = test_circuit(17);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  opts.seed = 123;
+  const LockedDesign a = lock_with(GetParam(), nl, opts);
+  const LockedDesign b = lock_with(GetParam(), nl, opts);
+  EXPECT_EQ(a.key_string(), b.key_string());
+  EXPECT_EQ(a.key_gates.size(), b.key_gates.size());
+  opts.seed = 124;
+  const LockedDesign c = lock_with(GetParam(), nl, opts);
+  EXPECT_TRUE(a.key_string() != c.key_string() ||
+              a.key_gates.front().sink != c.key_gates.front().sink);
+}
+
+TEST_P(AllSchemes, ApplyCorrectKeyRecoversFunction) {
+  const Netlist nl = test_circuit(19);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_with(GetParam(), nl, opts);
+  const Netlist unlocked = apply_correct_key(d);
+  EXPECT_TRUE(sim::functionally_equivalent(nl, unlocked, {.num_patterns = 2048}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
+                         ::testing::Values(Scheme::kDmux, Scheme::kDmuxPlain, Scheme::kSymmetric,
+                                           Scheme::kNaive, Scheme::kXor),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Scheme::kDmux: return "dmux";
+                             case Scheme::kDmuxPlain: return "dmux_plain";
+                             case Scheme::kSymmetric: return "symmetric";
+                             case Scheme::kNaive: return "naive";
+                             case Scheme::kXor: return "xor";
+                           }
+                           return "?";
+                         });
+
+// --- D-MUX specifics ------------------------------------------------------------
+
+TEST(Dmux, UsesCheapStrategiesWhenEnhanced) {
+  const Netlist nl = test_circuit(23, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 40;
+  const LockedDesign d = lock_dmux(nl, opts);
+  std::set<Strategy> used;
+  for (const auto& loc : d.localities) used.insert(loc.strategy);
+  // On a mixed-fanout circuit, eD-MUX should find at least one MO-based
+  // strategy (S1-S3); S4-only would indicate the policy is broken.
+  EXPECT_TRUE(used.contains(Strategy::kS1) || used.contains(Strategy::kS2) ||
+              used.contains(Strategy::kS3))
+      << "only S4 used";
+}
+
+TEST(Dmux, PlainVariantUsesOnlyS4) {
+  const Netlist nl = test_circuit(29);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  opts.enhanced = false;
+  const LockedDesign d = lock_dmux(nl, opts);
+  for (const auto& loc : d.localities) EXPECT_EQ(loc.strategy, Strategy::kS4);
+  // S4: one key bit, two MUXes.
+  EXPECT_EQ(d.key_gates.size(), 32u);
+}
+
+TEST(Dmux, NoReductionUnderAnyKeyOnSmallDesign) {
+  const Netlist nl = test_circuit(31, 120);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = lock_dmux(nl, opts);
+  // Exhaust all 256 key assignments: no original gate may ever dangle.
+  for (int mask = 0; mask < 256; ++mask) {
+    std::vector<bool> key(8);
+    for (int b = 0; b < 8; ++b) key[b] = (mask >> b & 1) != 0;
+    EXPECT_TRUE(no_reduction_under(nl, d, key)) << "mask " << mask;
+  }
+}
+
+TEST(Dmux, WrongKeysCorruptOutputs) {
+  const Netlist nl = test_circuit(37);
+  MuxLockOptions opts;
+  opts.key_bits = 32;
+  const LockedDesign d = lock_dmux(nl, opts);
+  auto wrong = key_pins(d);
+  for (auto& [name, bit] : wrong.extra_inputs_b) bit = !bit;
+  const double hd = sim::hamming_distance_percent(nl, d.netlist, wrong);
+  EXPECT_GT(hd, 1.0);
+}
+
+TEST(Dmux, StrategyBookkeepingConsistent) {
+  const Netlist nl = test_circuit(41, 500);
+  MuxLockOptions opts;
+  opts.key_bits = 48;
+  const LockedDesign d = lock_dmux(nl, opts);
+  std::size_t bits = 0;
+  for (const auto& loc : d.localities) {
+    switch (loc.strategy) {
+      case Strategy::kS1:
+        ASSERT_EQ(loc.key_gates.size(), 2u);
+        EXPECT_NE(d.key_gates[loc.key_gates[0]].key_bit, d.key_gates[loc.key_gates[1]].key_bit);
+        bits += 2;
+        break;
+      case Strategy::kS2:
+      case Strategy::kS3:
+        ASSERT_EQ(loc.key_gates.size(), 1u);
+        bits += 1;
+        break;
+      case Strategy::kS4:
+        ASSERT_EQ(loc.key_gates.size(), 2u);
+        EXPECT_EQ(d.key_gates[loc.key_gates[0]].key_bit, d.key_gates[loc.key_gates[1]].key_bit);
+        bits += 1;
+        break;
+      default:
+        FAIL() << "unexpected strategy";
+    }
+  }
+  EXPECT_EQ(bits, d.key.size());
+}
+
+TEST(Dmux, MuxInputsAreLogicGatesAndSelectIsKey) {
+  const Netlist nl = test_circuit(43);
+  MuxLockOptions opts;
+  opts.key_bits = 24;
+  const LockedDesign d = lock_dmux(nl, opts);
+  for (const KeyGate& kg : d.key_gates) {
+    const auto& mux = d.netlist.gate(kg.gate);
+    ASSERT_EQ(mux.type, GateType::kMux);
+    const auto& sel = d.netlist.gate(mux.fanins[0]);
+    EXPECT_EQ(sel.type, GateType::kInput);
+    EXPECT_EQ(sel.name.rfind(kKeyInputPrefix, 0), 0u);
+    for (int i : {1, 2}) {
+      const auto& data = d.netlist.gate(mux.fanins[i]);
+      EXPECT_NE(data.type, GateType::kInput);
+      EXPECT_NE(data.type, GateType::kMux);
+    }
+    // The recorded true driver is on the side the correct key selects.
+    const GateId selected = d.key[kg.key_bit] ? mux.fanins[2] : mux.fanins[1];
+    EXPECT_EQ(selected, kg.true_driver);
+  }
+}
+
+TEST(Dmux, ThrowsWhenKeyDoesNotFit) {
+  const Netlist nl = test_circuit(47, 60);
+  MuxLockOptions opts;
+  opts.key_bits = 4096;
+  EXPECT_THROW(lock_dmux(nl, opts), std::invalid_argument);
+  opts.allow_partial = true;
+  const LockedDesign d = lock_dmux(nl, opts);
+  EXPECT_LT(d.key.size(), 4096u);
+  EXPECT_GT(d.key.size(), 0u);
+}
+
+// --- Symmetric (S5) specifics ----------------------------------------------------
+
+TEST(Symmetric, PairsSingleOutputNodesWithTwoKeyBits) {
+  const Netlist nl = test_circuit(53, 400);
+  MuxLockOptions opts;
+  opts.key_bits = 24;
+  const LockedDesign d = lock_symmetric(nl, opts);
+  EXPECT_EQ(d.localities.size(), 12u);  // two bits per locality
+  for (const auto& loc : d.localities) {
+    EXPECT_EQ(loc.strategy, Strategy::kS5);
+    ASSERT_EQ(loc.key_gates.size(), 2u);
+    const auto& a = d.key_gates[loc.key_gates[0]];
+    const auto& b = d.key_gates[loc.key_gates[1]];
+    EXPECT_NE(a.key_bit, b.key_bit);
+    // Cross-wired decoys: each MUX's decoy is the other MUX's true driver.
+    EXPECT_EQ(a.false_driver, b.true_driver);
+    EXPECT_EQ(b.false_driver, a.true_driver);
+  }
+}
+
+TEST(Symmetric, RejectsOddKeySize) {
+  const Netlist nl = test_circuit(59);
+  MuxLockOptions opts;
+  opts.key_bits = 7;
+  EXPECT_THROW(lock_symmetric(nl, opts), std::invalid_argument);
+}
+
+TEST(Symmetric, DoubleFlipSwapsWithoutReduction) {
+  // Flipping BOTH bits of an S5 locality swaps the two wires (valid combo);
+  // flipping exactly ONE bit dangles a driver (invalid combo). This is the
+  // "only two possible combinations" structure of [14].
+  const Netlist nl = test_circuit(61, 300);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = lock_symmetric(nl, opts);
+  std::vector<bool> correct(d.key.size());
+  for (std::size_t i = 0; i < d.key.size(); ++i) correct[i] = d.key[i] != 0;
+  EXPECT_TRUE(no_reduction_under(nl, d, correct));
+
+  for (const auto& loc : d.localities) {
+    const int ka = d.key_gates[loc.key_gates[0]].key_bit;
+    const int kb = d.key_gates[loc.key_gates[1]].key_bit;
+    auto both = correct;
+    both[ka] = !both[ka];
+    both[kb] = !both[kb];
+    EXPECT_TRUE(no_reduction_under(nl, d, both));
+    auto one = correct;
+    one[ka] = !one[ka];
+    EXPECT_FALSE(no_reduction_under(nl, d, one));
+  }
+}
+
+// --- Naive MUX: the SAAM vulnerability -------------------------------------------
+
+TEST(NaiveMux, SomeWrongKeyCausesReduction) {
+  const Netlist nl = test_circuit(67, 200);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  opts.seed = 5;
+  const LockedDesign d = lock_naive_mux(nl, opts);
+  std::vector<bool> all_wrong(d.key.size());
+  for (std::size_t i = 0; i < d.key.size(); ++i) all_wrong[i] = d.key[i] == 0;
+  // Naive MUX locking gives no reduction guarantee: with every bit wrong,
+  // at least one true cone should disconnect on this seed.
+  EXPECT_FALSE(no_reduction_under(nl, d, all_wrong));
+}
+
+// --- XOR locking ------------------------------------------------------------------
+
+TEST(XorLock, GateTypeEncodesKeyBit) {
+  // Without re-synthesis, XOR key-gates leak: XOR <-> key 0, XNOR <-> key 1
+  // (the Fig. 1 leakage that motivates learning-resilient locking).
+  const Netlist nl = test_circuit(71);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_xor(nl, opts);
+  for (const KeyGate& kg : d.key_gates) {
+    const auto& gate = d.netlist.gate(kg.gate);
+    if (d.key[kg.key_bit]) {
+      EXPECT_EQ(gate.type, GateType::kXnor);
+    } else {
+      EXPECT_EQ(gate.type, GateType::kXor);
+    }
+  }
+}
+
+TEST(XorLock, WrongBitsFlipCones) {
+  const Netlist nl = test_circuit(73);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = lock_xor(nl, opts);
+  // A single flipped wire can be masked on random patterns, so sweep every
+  // bit: at least one must visibly corrupt the outputs, and flipping all
+  // bits must corrupt heavily.
+  double max_single = 0.0;
+  for (std::size_t i = 0; i < d.key.size(); ++i) {
+    auto pins = key_pins(d);
+    pins.extra_inputs_b[i].second = !pins.extra_inputs_b[i].second;
+    max_single = std::max(max_single, sim::hamming_distance_percent(nl, d.netlist, pins));
+  }
+  EXPECT_GT(max_single, 0.0);
+  auto all_wrong = key_pins(d);
+  for (auto& [name, bit] : all_wrong.extra_inputs_b) bit = !bit;
+  EXPECT_GT(sim::hamming_distance_percent(nl, d.netlist, all_wrong), 0.1);
+}
+
+// --- apply_key / HD ----------------------------------------------------------------
+
+TEST(ApplyKey, PartialKeyKeepsUnknownBitsAsInputs) {
+  const Netlist nl = test_circuit(79);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = lock_dmux(nl, opts);
+  std::vector<KeyBit> key;
+  for (std::uint8_t b : d.key) key.push_back(key_bit_from_bool(b != 0));
+  key[3] = KeyBit::kUnknown;
+  const Netlist partial = apply_key(d, key);
+  EXPECT_NE(partial.find(d.key_input_names[3]), netlist::kNullGate);
+  EXPECT_EQ(partial.inputs().size(), nl.inputs().size() + 1);
+}
+
+TEST(ApplyKey, RejectsSizeMismatch) {
+  const Netlist nl = test_circuit(83);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = lock_dmux(nl, opts);
+  EXPECT_THROW(apply_key(d, std::vector<KeyBit>(3)), std::invalid_argument);
+}
+
+TEST(AverageHd, CorrectKeyGivesZero) {
+  const Netlist nl = test_circuit(89);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_dmux(nl, opts);
+  std::vector<KeyBit> key;
+  for (std::uint8_t b : d.key) key.push_back(key_bit_from_bool(b != 0));
+  EXPECT_DOUBLE_EQ(average_hd_percent(nl, d, key, {.num_patterns = 2048}), 0.0);
+}
+
+TEST(AverageHd, UnknownBitsAreAveraged) {
+  const Netlist nl = test_circuit(97);
+  MuxLockOptions opts;
+  opts.key_bits = 8;
+  const LockedDesign d = lock_dmux(nl, opts);
+  std::vector<KeyBit> key;
+  for (std::uint8_t b : d.key) key.push_back(key_bit_from_bool(b != 0));
+  key[0] = KeyBit::kUnknown;
+  key[5] = KeyBit::kUnknown;
+  const HdOptions hopts{.num_patterns = 1024};
+  const double hd = average_hd_percent(nl, d, key, hopts);
+  // The X bits must be averaged over the 4 enumerated completions: compare
+  // against the manual enumeration.
+  double manual = 0.0;
+  for (int mask = 0; mask < 4; ++mask) {
+    auto complete = key;
+    complete[0] = (mask & 1) != 0 ? KeyBit::kOne : KeyBit::kZero;
+    complete[5] = (mask & 2) != 0 ? KeyBit::kOne : KeyBit::kZero;
+    sim::HammingOptions ho;
+    ho.num_patterns = hopts.num_patterns;
+    ho.seed = hopts.seed;
+    manual += sim::hamming_distance_percent(nl, apply_key(d, complete), ho);
+  }
+  manual /= 4.0;
+  EXPECT_NEAR(hd, manual, 1e-9);
+  EXPECT_LT(hd, 50.0);
+}
+
+TEST(AverageHd, AllWrongKeyCorruptsMoreThanCorrect) {
+  const Netlist nl = test_circuit(101);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_dmux(nl, opts);
+  std::vector<KeyBit> wrong;
+  for (std::uint8_t b : d.key) wrong.push_back(key_bit_from_bool(b == 0));
+  EXPECT_GT(average_hd_percent(nl, d, wrong, {.num_patterns = 2048}), 1.0);
+}
+
+TEST(KeyBitHelpers, CharRendering) {
+  EXPECT_EQ(to_char(KeyBit::kZero), '0');
+  EXPECT_EQ(to_char(KeyBit::kOne), '1');
+  EXPECT_EQ(to_char(KeyBit::kUnknown), 'X');
+}
+
+// Locking a real benchmark end-to-end (golden-path smoke).
+TEST(Integration, LocksC880AtK64) {
+  const Netlist nl = circuitgen::make_benchmark("c880");
+  MuxLockOptions opts;
+  opts.key_bits = 64;
+  opts.seed = 42;
+  const LockedDesign dmux = lock_dmux(nl, opts);
+  EXPECT_EQ(dmux.key.size(), 64u);
+  EXPECT_TRUE(sim::functionally_equivalent(nl, dmux.netlist, key_pins(dmux)));
+  const LockedDesign sym = lock_symmetric(nl, opts);
+  EXPECT_EQ(sym.key.size(), 64u);
+  EXPECT_TRUE(sim::functionally_equivalent(nl, sym.netlist, key_pins(sym)));
+}
+
+}  // namespace
+}  // namespace muxlink::locking

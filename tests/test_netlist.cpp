@@ -1,0 +1,465 @@
+// Unit tests for the netlist substrate: gate types, netlist construction and
+// mutation, structural analyses, and BENCH round-tripping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "netlist/gate_type.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::netlist {
+namespace {
+
+// --- GateType ---------------------------------------------------------------
+
+TEST(GateType, RoundTripsThroughStrings) {
+  for (int t = 0; t < kNumGateTypes; ++t) {
+    const auto type = static_cast<GateType>(t);
+    const auto parsed = gate_type_from_string(to_string(type));
+    ASSERT_TRUE(parsed.has_value()) << to_string(type);
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(GateType, ParsingIsCaseInsensitive) {
+  EXPECT_EQ(gate_type_from_string("nand"), GateType::kNand);
+  EXPECT_EQ(gate_type_from_string("Xor"), GateType::kXor);
+  EXPECT_EQ(gate_type_from_string("mux"), GateType::kMux);
+}
+
+TEST(GateType, AcceptsCommonAliases) {
+  EXPECT_EQ(gate_type_from_string("BUFF"), GateType::kBuf);
+  EXPECT_EQ(gate_type_from_string("INV"), GateType::kNot);
+  EXPECT_EQ(gate_type_from_string("vcc"), GateType::kConst1);
+  EXPECT_EQ(gate_type_from_string("gnd"), GateType::kConst0);
+}
+
+TEST(GateType, RejectsUnknownNames) {
+  EXPECT_FALSE(gate_type_from_string("FLIPFLOP").has_value());
+  EXPECT_FALSE(gate_type_from_string("").has_value());
+}
+
+TEST(GateType, ArityRanges) {
+  EXPECT_EQ(min_fanin(GateType::kInput), 0);
+  EXPECT_EQ(max_fanin(GateType::kInput), 0);
+  EXPECT_EQ(min_fanin(GateType::kNot), 1);
+  EXPECT_EQ(max_fanin(GateType::kNot), 1);
+  EXPECT_EQ(min_fanin(GateType::kAnd), 2);
+  EXPECT_LT(max_fanin(GateType::kAnd), 0);  // unbounded
+  EXPECT_EQ(min_fanin(GateType::kMux), 3);
+  EXPECT_EQ(max_fanin(GateType::kMux), 3);
+}
+
+TEST(GateType, ConstantPredicate) {
+  EXPECT_TRUE(is_constant(GateType::kConst0));
+  EXPECT_TRUE(is_constant(GateType::kConst1));
+  EXPECT_FALSE(is_constant(GateType::kAnd));
+  EXPECT_FALSE(is_constant(GateType::kInput));
+}
+
+// --- Netlist construction ----------------------------------------------------
+
+Netlist make_small() {
+  // a, b -> n1 = AND(a, b); n2 = NOT(n1); outputs: n1, n2
+  Netlist nl("small");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId n1 = nl.add_gate("n1", GateType::kAnd, {a, b});
+  const GateId n2 = nl.add_gate("n2", GateType::kNot, {n1});
+  nl.mark_output(n1);
+  nl.mark_output(n2);
+  return nl;
+}
+
+TEST(Netlist, BuildsAndLooksUpGates) {
+  Netlist nl = make_small();
+  EXPECT_EQ(nl.num_gates(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  const GateId n1 = nl.find("n1");
+  ASSERT_NE(n1, kNullGate);
+  EXPECT_EQ(nl.gate(n1).type, GateType::kAnd);
+  EXPECT_EQ(nl.gate(n1).fanins.size(), 2u);
+  EXPECT_EQ(nl.find("nope"), kNullGate);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), NetlistError);
+  EXPECT_THROW(nl.add_gate("a", GateType::kNot, {0}), NetlistError);
+}
+
+TEST(Netlist, RejectsEmptyName) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_input(""), NetlistError);
+}
+
+TEST(Netlist, RejectsArityViolations) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate("g", GateType::kAnd, {a}), NetlistError);
+  EXPECT_THROW(nl.add_gate("g", GateType::kNot, {a, a}), NetlistError);
+  EXPECT_THROW(nl.add_gate("g", GateType::kMux, {a, a}), NetlistError);
+  EXPECT_NO_THROW(nl.add_gate("g", GateType::kMux, {a, a, a}));
+}
+
+TEST(Netlist, RejectsDanglingFanin) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_gate("g", GateType::kNot, {42}), NetlistError);
+}
+
+TEST(Netlist, MarkOutputIsIdempotent) {
+  Netlist nl = make_small();
+  const GateId n1 = nl.find("n1");
+  nl.mark_output(n1);
+  nl.mark_output(n1);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  nl.unmark_output(n1);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_FALSE(nl.is_output(n1));
+}
+
+TEST(Netlist, MarkOutputRejectsBadId) {
+  Netlist nl = make_small();
+  EXPECT_THROW(nl.mark_output(99), NetlistError);
+}
+
+TEST(Netlist, FanoutsTrackConnections) {
+  Netlist nl = make_small();
+  const GateId a = nl.find("a");
+  const GateId n1 = nl.find("n1");
+  const GateId n2 = nl.find("n2");
+  const auto& fo = nl.fanouts();
+  ASSERT_EQ(fo[a].size(), 1u);
+  EXPECT_EQ(fo[a][0].sink, n1);
+  EXPECT_EQ(fo[a][0].port, 0u);
+  ASSERT_EQ(fo[n1].size(), 1u);
+  EXPECT_EQ(fo[n1][0].sink, n2);
+  EXPECT_TRUE(fo[n2].empty());
+}
+
+TEST(Netlist, FanoutGateCountDeduplicatesSinks) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.add_gate("g", GateType::kAnd, {a, a});  // both ports from `a`
+  EXPECT_EQ(nl.fanout_gate_count(a), 1u);
+}
+
+TEST(Netlist, ReplaceFaninRewires) {
+  Netlist nl = make_small();
+  const GateId b = nl.find("b");
+  const GateId n2 = nl.find("n2");
+  nl.replace_fanin(n2, 0, b);
+  EXPECT_EQ(nl.gate(n2).fanins[0], b);
+  // Fanout cache refreshed.
+  EXPECT_EQ(nl.fanout_gate_count(nl.find("n1")), 0u);
+  EXPECT_EQ(nl.fanout_gate_count(b), 2u);
+}
+
+TEST(Netlist, ReplaceFaninValidatesArguments) {
+  Netlist nl = make_small();
+  EXPECT_THROW(nl.replace_fanin(99, 0, 0), NetlistError);
+  EXPECT_THROW(nl.replace_fanin(nl.find("n2"), 5, 0), NetlistError);
+  EXPECT_THROW(nl.replace_fanin(nl.find("n2"), 0, 99), NetlistError);
+}
+
+TEST(Netlist, RewriteGateChangesTypeAndFanins) {
+  Netlist nl = make_small();
+  const GateId n2 = nl.find("n2");
+  const GateId a = nl.find("a");
+  const GateId b = nl.find("b");
+  nl.rewrite_gate(n2, GateType::kXor, {a, b});
+  EXPECT_EQ(nl.gate(n2).type, GateType::kXor);
+  EXPECT_EQ(nl.gate(n2).fanins.size(), 2u);
+  nl.validate();
+}
+
+TEST(Netlist, RewriteGateGuards) {
+  Netlist nl = make_small();
+  EXPECT_THROW(nl.rewrite_gate(nl.find("a"), GateType::kBuf, {0}), NetlistError);
+  EXPECT_THROW(nl.rewrite_gate(nl.find("n1"), GateType::kInput, {}), NetlistError);
+  EXPECT_THROW(nl.rewrite_gate(nl.find("n1"), GateType::kNot, {0, 1}), NetlistError);
+}
+
+TEST(Netlist, RenameGateUpdatesIndex) {
+  Netlist nl = make_small();
+  const GateId n1 = nl.find("n1");
+  nl.rename_gate(n1, "renamed");
+  EXPECT_EQ(nl.find("renamed"), n1);
+  EXPECT_EQ(nl.find("n1"), kNullGate);
+  EXPECT_THROW(nl.rename_gate(n1, "a"), NetlistError);  // duplicate
+  nl.validate();
+}
+
+TEST(Netlist, RemoveGatesCompactsIds) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId dead = nl.add_gate("dead", GateType::kNot, {a});
+  const GateId keep = nl.add_gate("keep", GateType::kBuf, {a});
+  (void)dead;
+  nl.mark_output(keep);
+  std::vector<bool> mask(nl.num_gates(), false);
+  mask[1] = true;  // `dead`
+  const auto remap = nl.remove_gates(mask);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(remap[1], kNullGate);
+  EXPECT_EQ(nl.find("dead"), kNullGate);
+  const GateId keep2 = nl.find("keep");
+  ASSERT_NE(keep2, kNullGate);
+  EXPECT_EQ(nl.gate(keep2).fanins[0], nl.find("a"));
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.outputs()[0], keep2);
+  nl.validate();
+}
+
+TEST(Netlist, RemoveGatesRefusesLiveDependents) {
+  Netlist nl = make_small();
+  std::vector<bool> mask(nl.num_gates(), false);
+  mask[nl.find("a")] = true;  // n1 still uses it
+  EXPECT_THROW(nl.remove_gates(mask), NetlistError);
+}
+
+TEST(Netlist, RemoveGatesRefusesDeadOutputs) {
+  Netlist nl = make_small();
+  std::vector<bool> mask(nl.num_gates(), false);
+  mask[nl.find("n2")] = true;  // is a PO
+  EXPECT_THROW(nl.remove_gates(mask), NetlistError);
+}
+
+TEST(Netlist, ValidatePassesOnWellFormed) {
+  Netlist nl = make_small();
+  EXPECT_NO_THROW(nl.validate());
+}
+
+// --- Analyses -----------------------------------------------------------------
+
+Netlist make_diamond() {
+  // a -> n1, n2; n1,n2 -> n3 (PO). Classic reconvergent fanout.
+  Netlist nl("diamond");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId n1 = nl.add_gate("n1", GateType::kNot, {a});
+  const GateId n2 = nl.add_gate("n2", GateType::kAnd, {a, b});
+  const GateId n3 = nl.add_gate("n3", GateType::kOr, {n1, n2});
+  nl.mark_output(n3);
+  return nl;
+}
+
+TEST(Analysis, TopologicalOrderRespectsDependencies) {
+  Netlist nl = make_diamond();
+  const auto order = topological_order(nl);
+  ASSERT_EQ(order.size(), nl.num_gates());
+  std::vector<std::size_t> pos(nl.num_gates());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    for (GateId f : nl.gate(g).fanins) EXPECT_LT(pos[f], pos[g]);
+  }
+}
+
+TEST(Analysis, LoopDetection) {
+  Netlist nl = make_diamond();
+  EXPECT_FALSE(has_combinational_loop(nl));
+  // Create a cycle: n1's fanin <- n3.
+  nl.replace_fanin(nl.find("n1"), 0, nl.find("n3"));
+  EXPECT_TRUE(has_combinational_loop(nl));
+  EXPECT_THROW(topological_order(nl), NetlistError);
+}
+
+TEST(Analysis, TransitiveFanout) {
+  Netlist nl = make_diamond();
+  EXPECT_TRUE(in_transitive_fanout(nl, nl.find("a"), nl.find("n3")));
+  EXPECT_TRUE(in_transitive_fanout(nl, nl.find("n1"), nl.find("n3")));
+  EXPECT_FALSE(in_transitive_fanout(nl, nl.find("n3"), nl.find("a")));
+  EXPECT_FALSE(in_transitive_fanout(nl, nl.find("n1"), nl.find("n2")));
+  EXPECT_FALSE(in_transitive_fanout(nl, nl.find("a"), nl.find("a")));
+}
+
+TEST(Analysis, FaninCone) {
+  Netlist nl = make_diamond();
+  const auto cone = fanin_cone(nl, nl.find("n3"));
+  EXPECT_TRUE(cone[nl.find("n3")]);
+  EXPECT_TRUE(cone[nl.find("n1")]);
+  EXPECT_TRUE(cone[nl.find("n2")]);
+  EXPECT_TRUE(cone[nl.find("a")]);
+  EXPECT_TRUE(cone[nl.find("b")]);
+  const auto cone1 = fanin_cone(nl, nl.find("n1"));
+  EXPECT_FALSE(cone1[nl.find("b")]);
+}
+
+TEST(Analysis, FanoutCone) {
+  Netlist nl = make_diamond();
+  const auto cone = fanout_cone(nl, nl.find("b"));
+  EXPECT_TRUE(cone[nl.find("b")]);
+  EXPECT_TRUE(cone[nl.find("n2")]);
+  EXPECT_TRUE(cone[nl.find("n3")]);
+  EXPECT_FALSE(cone[nl.find("n1")]);
+  EXPECT_FALSE(cone[nl.find("a")]);
+}
+
+TEST(Analysis, ReachesOutput) {
+  Netlist nl = make_diamond();
+  nl.add_gate("orphan", GateType::kNot, {nl.find("a")});
+  const auto reach = reaches_output(nl);
+  EXPECT_TRUE(reach[nl.find("n3")]);
+  EXPECT_TRUE(reach[nl.find("a")]);
+  EXPECT_FALSE(reach[nl.find("orphan")]);
+}
+
+TEST(Analysis, LogicLevels) {
+  Netlist nl = make_diamond();
+  const auto lvl = logic_levels(nl);
+  EXPECT_EQ(lvl[nl.find("a")], 0);
+  EXPECT_EQ(lvl[nl.find("n1")], 1);
+  EXPECT_EQ(lvl[nl.find("n2")], 1);
+  EXPECT_EQ(lvl[nl.find("n3")], 2);
+}
+
+TEST(Analysis, StatsCountTypesAndFanoutClasses) {
+  Netlist nl = make_diamond();
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.num_gates, 5u);
+  EXPECT_EQ(s.num_inputs, 2u);
+  EXPECT_EQ(s.num_outputs, 1u);
+  EXPECT_EQ(s.num_logic_gates, 3u);
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kAnd)], 1u);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kInput)], 2u);
+  // a drives n1 and n2 but is a PI, so not counted; n1, n2 drive one sink each;
+  // n3 drives none.
+  EXPECT_EQ(s.single_output_gates, 2u);
+  EXPECT_EQ(s.multi_output_gates, 0u);
+  EXPECT_FALSE(format_stats(s).empty());
+}
+
+// --- BENCH IO ------------------------------------------------------------------
+
+constexpr const char* kC17 = R"(# c17 ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchIO, ParsesC17) {
+  const Netlist nl = parse_bench(kC17, "c17");
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.num_gates(), 11u);
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kNand)], 6u);
+  EXPECT_EQ(s.depth, 3);
+}
+
+TEST(BenchIO, RoundTripPreservesStructure) {
+  const Netlist nl = parse_bench(kC17, "c17");
+  const Netlist nl2 = parse_bench(write_bench(nl), "c17rt");
+  EXPECT_EQ(nl2.num_gates(), nl.num_gates());
+  EXPECT_EQ(nl2.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(nl2.outputs().size(), nl.outputs().size());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& orig = nl.gate(g);
+    const GateId g2 = nl2.find(orig.name);
+    ASSERT_NE(g2, kNullGate) << orig.name;
+    EXPECT_EQ(nl2.gate(g2).type, orig.type);
+    ASSERT_EQ(nl2.gate(g2).fanins.size(), orig.fanins.size());
+    for (std::size_t i = 0; i < orig.fanins.size(); ++i) {
+      EXPECT_EQ(nl2.gate(nl2.gate(g2).fanins[i]).name, nl.gate(orig.fanins[i]).name);
+    }
+  }
+}
+
+TEST(BenchIO, HandlesOutOfOrderDefinitions) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)
+x = BUF(a)
+)");
+  EXPECT_EQ(nl.num_gates(), 3u);
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::kNot);
+}
+
+TEST(BenchIO, HandlesMuxAndConstants) {
+  const Netlist nl = parse_bench(R"(
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+c1 = CONST1()
+m = MUX(s, a, b)
+y = AND(m, c1)
+)");
+  EXPECT_EQ(nl.gate(nl.find("m")).type, GateType::kMux);
+  EXPECT_EQ(nl.gate(nl.find("c1")).type, GateType::kConst1);
+}
+
+TEST(BenchIO, IgnoresCommentsAndBlankLines) {
+  const Netlist nl = parse_bench("\n# hi\nINPUT(a)  # trailing\n\nOUTPUT(a)\n");
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_TRUE(nl.is_output(nl.find("a")));
+}
+
+TEST(BenchIO, ToleratesWhitespaceVariants) {
+  const Netlist nl = parse_bench("INPUT( a )\nOUTPUT( y )\ny   =  nand( a ,a )\n");
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::kNand);
+}
+
+TEST(BenchIO, ErrorsCarryLineNumbers) {
+  try {
+    parse_bench("INPUT(a)\nz = FROB(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BenchIO, RejectsUndefinedSignals) {
+  EXPECT_THROW(parse_bench("OUTPUT(y)\ny = NOT(ghost)\n"), BenchParseError);
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(zzz)\n"), BenchParseError);
+}
+
+TEST(BenchIO, RejectsCombinationalLoops) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nx = NOT(y)\ny = NOT(x)\n"), BenchParseError);
+}
+
+TEST(BenchIO, RejectsDuplicateDefinitions) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nx = NOT(a)\nx = BUF(a)\n"), BenchParseError);
+  EXPECT_THROW(parse_bench("INPUT(a)\na = NOT(a)\n"), BenchParseError);
+}
+
+TEST(BenchIO, RejectsMalformedLines) {
+  EXPECT_THROW(parse_bench("WHAT IS THIS\n"), BenchParseError);
+  EXPECT_THROW(parse_bench("INPUT(a, b)\n"), BenchParseError);
+  EXPECT_THROW(parse_bench(" = NOT(a)\n"), BenchParseError);
+  EXPECT_THROW(parse_bench("x = (a)\n"), BenchParseError);
+}
+
+TEST(BenchIO, RejectsInputOnAssignment) {
+  EXPECT_THROW(parse_bench("x = INPUT()\n"), BenchParseError);
+}
+
+TEST(BenchIO, FileRoundTrip) {
+  const Netlist nl = parse_bench(kC17, "c17");
+  const auto path = std::filesystem::temp_directory_path() / "muxlink_c17.bench";
+  write_bench_file(nl, path);
+  const Netlist back = read_bench_file(path);
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace muxlink::netlist

@@ -1,0 +1,234 @@
+// Cross-module randomized property suite: BENCH round-trip fuzzing,
+// netlist invariants under mutation, simulator consistency against a naive
+// reference evaluator, and locking-metadata coherence across all schemes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "circuitgen/generator.h"
+#include "locking/mux_lock.h"
+#include "locking/trll.h"
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "sim/simulator.h"
+#include "synth/synthesis.h"
+
+namespace muxlink {
+namespace {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+circuitgen::CircuitSpec spec_for(std::uint64_t seed) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = seed;
+  spec.num_gates = 60 + seed % 200;
+  spec.num_inputs = 6 + seed % 12;
+  spec.num_outputs = 2 + seed % 6;
+  return spec;
+}
+
+// --- BENCH round-trip fuzz ------------------------------------------------------
+
+class BenchRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BenchRoundTrip, ParseWriteParseIsIdentity) {
+  const Netlist nl = circuitgen::generate(spec_for(GetParam()));
+  const std::string once = netlist::write_bench(nl);
+  const Netlist back = netlist::parse_bench(once, nl.name());
+  const std::string twice = netlist::write_bench(back);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  EXPECT_EQ(back.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(back.outputs().size(), nl.outputs().size());
+  EXPECT_TRUE(sim::functionally_equivalent(nl, back, {.num_patterns = 512}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTrip, ::testing::Values(1, 12, 123, 1234, 12345));
+
+// --- naive reference evaluator vs bit-parallel simulator ---------------------------
+
+bool naive_eval(const Netlist& nl, GateId g, const std::map<GateId, bool>& inputs,
+                std::map<GateId, bool>& memo) {
+  if (const auto it = memo.find(g); it != memo.end()) return it->second;
+  const Gate& gate = nl.gate(g);
+  bool v = false;
+  switch (gate.type) {
+    case GateType::kInput:
+      v = inputs.at(g);
+      break;
+    case GateType::kConst0:
+      v = false;
+      break;
+    case GateType::kConst1:
+      v = true;
+      break;
+    case GateType::kBuf:
+      v = naive_eval(nl, gate.fanins[0], inputs, memo);
+      break;
+    case GateType::kNot:
+      v = !naive_eval(nl, gate.fanins[0], inputs, memo);
+      break;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      v = true;
+      for (GateId f : gate.fanins) v = v && naive_eval(nl, f, inputs, memo);
+      if (gate.type == GateType::kNand) v = !v;
+      break;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      v = false;
+      for (GateId f : gate.fanins) v = v || naive_eval(nl, f, inputs, memo);
+      if (gate.type == GateType::kNor) v = !v;
+      break;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      v = false;
+      for (GateId f : gate.fanins) v = v != naive_eval(nl, f, inputs, memo);
+      if (gate.type == GateType::kXnor) v = !v;
+      break;
+    }
+    case GateType::kMux: {
+      const bool sel = naive_eval(nl, gate.fanins[0], inputs, memo);
+      v = naive_eval(nl, gate.fanins[sel ? 2 : 1], inputs, memo);
+      break;
+    }
+  }
+  memo[g] = v;
+  return v;
+}
+
+class SimulatorReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorReference, BitParallelMatchesRecursiveEvaluator) {
+  const Netlist nl = circuitgen::generate(spec_for(GetParam() * 7 + 1));
+  const sim::Simulator simulator(nl);
+  std::mt19937_64 rng(GetParam());
+  for (int t = 0; t < 8; ++t) {
+    std::map<GateId, bool> in;
+    std::vector<bool> vec;
+    for (GateId g : nl.inputs()) {
+      const bool b = (rng() & 1) != 0;
+      in[g] = b;
+      vec.push_back(b);
+    }
+    const auto fast = simulator.run_single(vec);
+    std::map<GateId, bool> memo;
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      EXPECT_EQ(fast[o], naive_eval(nl, nl.outputs()[o], in, memo)) << "output " << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorReference, ::testing::Values(2, 3, 5, 7, 11));
+
+// --- cleanup is idempotent and monotone ----------------------------------------------
+
+class CleanupProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CleanupProperties, IdempotentAndNeverGrows) {
+  const Netlist nl = circuitgen::generate(spec_for(GetParam() * 13 + 3));
+  const Netlist once = synth::cleanup(nl);
+  const Netlist twice = synth::cleanup(once);
+  const auto s1 = netlist::compute_stats(once);
+  const auto s2 = netlist::compute_stats(twice);
+  EXPECT_EQ(s1.num_logic_gates, s2.num_logic_gates) << "cleanup must be a fixpoint";
+  EXPECT_LE(s1.num_logic_gates, netlist::compute_stats(nl).num_logic_gates);
+  EXPECT_TRUE(sim::functionally_equivalent(once, twice, {.num_patterns = 512}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanupProperties, ::testing::Values(4, 8, 15, 16, 23, 42));
+
+// --- locking metadata coherence across every scheme -----------------------------------
+
+enum class AnyScheme { kXor, kNaive, kDmux, kSym, kTrll };
+
+class LockingMetadata
+    : public ::testing::TestWithParam<std::tuple<AnyScheme, std::uint64_t>> {};
+
+TEST_P(LockingMetadata, RecordsAreInternallyConsistent) {
+  const auto [scheme, seed] = GetParam();
+  const Netlist nl = circuitgen::generate(spec_for(seed + 100));
+  locking::MuxLockOptions opts;
+  opts.key_bits = 12;
+  opts.seed = seed;
+  opts.allow_partial = true;
+  locking::LockedDesign d;
+  switch (scheme) {
+    case AnyScheme::kXor:
+      d = locking::lock_xor(nl, opts);
+      break;
+    case AnyScheme::kNaive:
+      d = locking::lock_naive_mux(nl, opts);
+      break;
+    case AnyScheme::kDmux:
+      d = locking::lock_dmux(nl, opts);
+      break;
+    case AnyScheme::kSym:
+      d = locking::lock_symmetric(nl, opts);
+      break;
+    case AnyScheme::kTrll:
+      d = locking::lock_trll(nl, opts);
+      break;
+  }
+  // One name per bit, resolvable, of INPUT type.
+  ASSERT_EQ(d.key_input_names.size(), d.key.size());
+  for (const auto& name : d.key_input_names) {
+    const GateId kin = d.netlist.find(name);
+    ASSERT_NE(kin, netlist::kNullGate);
+    EXPECT_EQ(d.netlist.gate(kin).type, GateType::kInput);
+  }
+  // Every key gate references a valid bit and a real gate; every locality
+  // references valid key-gate indices.
+  for (const auto& kg : d.key_gates) {
+    EXPECT_GE(kg.key_bit, 0);
+    EXPECT_LT(static_cast<std::size_t>(kg.key_bit), d.key.size());
+    EXPECT_LT(kg.gate, d.netlist.num_gates());
+  }
+  std::size_t referenced = 0;
+  for (const auto& loc : d.localities) {
+    for (const auto idx : loc.key_gates) {
+      EXPECT_LT(idx, d.key_gates.size());
+      ++referenced;
+    }
+  }
+  EXPECT_EQ(referenced, d.key_gates.size()) << "every key gate belongs to one locality";
+  // The locked netlist stays healthy.
+  EXPECT_FALSE(netlist::has_combinational_loop(d.netlist));
+  EXPECT_NO_THROW(d.netlist.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LockingMetadata,
+    ::testing::Combine(::testing::Values(AnyScheme::kXor, AnyScheme::kNaive, AnyScheme::kDmux,
+                                         AnyScheme::kSym, AnyScheme::kTrll),
+                       ::testing::Values(1, 2, 3)));
+
+// --- stats/analysis consistency --------------------------------------------------------
+
+class StatsConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsConsistency, CountsAddUp) {
+  const Netlist nl = circuitgen::generate(spec_for(GetParam() * 31 + 7));
+  const auto s = netlist::compute_stats(nl);
+  std::size_t total = 0;
+  for (int t = 0; t < netlist::kNumGateTypes; ++t) total += s.count_by_type[t];
+  EXPECT_EQ(total, s.num_gates);
+  EXPECT_EQ(s.num_gates, nl.num_gates());
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kInput)], s.num_inputs);
+  // Logic levels are consistent with the topological order.
+  const auto levels = netlist::logic_levels(nl);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    for (GateId f : nl.gate(g).fanins) EXPECT_LT(levels[f], levels[g]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsConsistency, ::testing::Values(3, 6, 9, 12));
+
+}  // namespace
+}  // namespace muxlink

@@ -1,0 +1,370 @@
+// Tests for the SAT substrate (CDCL solver, Tseitin encoding) and the
+// oracle-guided SAT attack baseline [2].
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "attacks/metrics.h"
+#include "attacks/sat_attack.h"
+#include "circuitgen/generator.h"
+#include "circuitgen/suites.h"
+#include "locking/mux_lock.h"
+#include "netlist/bench_io.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+#include "synth/synthesis.h"
+#include "sim/simulator.h"
+
+namespace muxlink {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+// --- solver -----------------------------------------------------------------------
+
+TEST(SatSolver, TrivialSatAndModel) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(a, b);
+  s.add_unit(-a);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(SatSolver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(a);
+  s.add_unit(-a);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+  Solver s;
+  (void)s.new_var();
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, TautologiesAreDropped) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_binary(a, -a);  // tautology: no constraint
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, RejectsOutOfRangeLiterals) {
+  Solver s;
+  (void)s.new_var();
+  EXPECT_THROW(s.add_unit(5), std::invalid_argument);
+  EXPECT_THROW(s.add_unit(0), std::invalid_argument);
+}
+
+TEST(SatSolver, XorChainForcesUniqueModel) {
+  // x1 xor x2 = 1, x2 xor x3 = 1, x1 = 1  =>  x2 = 0, x3 = 1.
+  Solver s;
+  const Var x1 = s.new_var();
+  const Var x2 = s.new_var();
+  const Var x3 = s.new_var();
+  auto add_xor1 = [&](Var p, Var q) {  // p xor q = 1
+    s.add_binary(p, q);
+    s.add_binary(-p, -q);
+  };
+  add_xor1(x1, x2);
+  add_xor1(x2, x3);
+  s.add_unit(x1);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(x1));
+  EXPECT_FALSE(s.model_value(x2));
+  EXPECT_TRUE(s.model_value(x3));
+}
+
+TEST(SatSolver, PigeonholeThreeIntoTwoIsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes. Var p_{i,j} = pigeon i in hole j.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 3; ++i) s.add_binary(p[i][0], p[i][1]);  // each pigeon somewhere
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      for (int k = i + 1; k < 3; ++k) s.add_binary(-p[i][j], -p[k][j]);
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.conflicts(), 0);
+}
+
+TEST(SatSolver, AssumptionsAreTemporary) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(-a, b);  // a -> b
+  EXPECT_EQ(s.solve({a, -b}), Result::kUnsat);
+  EXPECT_EQ(s.solve({a}), Result::kSat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({-b, a}), Result::kUnsat);
+  EXPECT_EQ(s.solve(), Result::kSat);  // formula itself is satisfiable
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  // PHP(6,5) needs a decent number of conflicts; a budget of 1 cannot do it.
+  Solver s;
+  std::vector<std::vector<Var>> p(6, std::vector<Var>(5));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < 5; ++j) c.push_back(p[i][j]);
+    s.add_clause(c);
+  }
+  for (int j = 0; j < 5; ++j) {
+    for (int i = 0; i < 6; ++i) {
+      for (int k = i + 1; k < 6; ++k) s.add_binary(-p[i][j], -p[k][j]);
+    }
+  }
+  EXPECT_EQ(s.solve({}, 1), Result::kUnknown);
+  EXPECT_EQ(s.solve({}, -1), Result::kUnsat);
+}
+
+// Random 3-SAT instances cross-checked against brute force.
+class RandomSat : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSat, AgreesWithBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  const int num_vars = 10;
+  const int num_clauses = 38;  // near the phase transition
+  std::vector<std::vector<Lit>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k) {
+      const int v = static_cast<int>(rng() % num_vars) + 1;
+      cl.push_back((rng() & 1) != 0 ? v : -v);
+    }
+    clauses.push_back(cl);
+  }
+  // Brute force.
+  bool brute_sat = false;
+  for (int mask = 0; mask < (1 << num_vars) && !brute_sat; ++mask) {
+    bool all = true;
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (Lit l : cl) {
+        const bool val = (mask >> (std::abs(l) - 1) & 1) != 0;
+        any = any || (l > 0 ? val : !val);
+      }
+      all = all && any;
+      if (!all) break;
+    }
+    brute_sat = all;
+  }
+  Solver s;
+  for (int v = 0; v < num_vars; ++v) (void)s.new_var();
+  for (auto cl : clauses) s.add_clause(std::move(cl));
+  const Result r = s.solve();
+  EXPECT_EQ(r == Result::kSat, brute_sat);
+  if (r == Result::kSat) {
+    // Model must satisfy every clause.
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (Lit l : cl) {
+        const bool val = s.model_value(std::abs(l));
+        any = any || (l > 0 ? val : !val);
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSat,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+// --- CNF encoding ---------------------------------------------------------------------
+
+TEST(Cnf, GateEncodingMatchesSimulator) {
+  // Exhaustively check every gate type on a small circuit: for each input
+  // assignment, the CNF restricted to those inputs must force exactly the
+  // simulator's outputs.
+  const Netlist nl = netlist::parse_bench(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+OUTPUT(o4)
+OUTPUT(o5)
+t1 = NAND(a, b)
+t2 = NOR(b, c)
+t3 = XOR(a, c)
+o1 = AND(t1, t2, t3)
+o2 = OR(t1, c)
+o3 = XNOR(t2, t3)
+o4 = MUX(a, t1, t2)
+o5 = NOT(t3)
+)");
+  const sim::Simulator simulator(nl);
+  for (int mask = 0; mask < 8; ++mask) {
+    Solver s;
+    const sat::CircuitInstance inst(s, nl);
+    std::vector<bool> in;
+    std::vector<Lit> assumptions;
+    for (int i = 0; i < 3; ++i) {
+      const bool bit = (mask >> i & 1) != 0;
+      in.push_back(bit);
+      const Var v = inst.var_of(nl.inputs()[i]);
+      assumptions.push_back(bit ? v : -v);
+    }
+    ASSERT_EQ(s.solve(assumptions), Result::kSat);
+    const auto expect = simulator.run_single(in);
+    const auto outs = inst.output_vars();
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      EXPECT_EQ(s.model_value(outs[o]), expect[o]) << "mask " << mask << " output " << o;
+    }
+  }
+}
+
+TEST(Cnf, SharedInputsTieInstances) {
+  const Netlist nl = netlist::parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  Solver s;
+  const sat::CircuitInstance c1(s, nl);
+  std::unordered_map<std::string, Var> shared{{"a", c1.var_of(nl.inputs()[0])}};
+  const sat::CircuitInstance c2(s, nl, shared);
+  // Same input var: outputs must always agree -> asserting disagreement is UNSAT.
+  const Var diff = sat::encode_xor(s, c1.output_vars()[0], c2.output_vars()[0]);
+  EXPECT_EQ(s.solve({diff}), Result::kUnsat);
+}
+
+TEST(Cnf, EquivalenceMiterProvesCleanupCorrect) {
+  // Formal (not just simulated) equivalence of cleanup() on a random
+  // circuit: the miter between original and cleaned is UNSAT.
+  circuitgen::CircuitSpec spec;
+  spec.seed = 77;
+  spec.num_gates = 120;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  const Netlist nl = circuitgen::generate(spec);
+  const Netlist clean = synth::cleanup(nl);
+
+  Solver s;
+  const sat::CircuitInstance c1(s, nl);
+  std::unordered_map<std::string, Var> shared;
+  for (auto g : nl.inputs()) shared.emplace(nl.gate(g).name, c1.var_of(g));
+  const sat::CircuitInstance c2(s, clean, shared);
+  std::vector<Lit> diffs;
+  const auto o1 = c1.output_vars();
+  // Match outputs by name.
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const auto name = nl.gate(nl.outputs()[i]).name;
+    diffs.push_back(sat::encode_xor(s, o1[i], c2.var_of_name(name)));
+  }
+  const Var miter = sat::encode_or(s, diffs);
+  EXPECT_EQ(s.solve({miter}), Result::kUnsat);
+}
+
+TEST(Cnf, UnknownSignalNameThrows) {
+  const Netlist nl = netlist::parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  Solver s;
+  const sat::CircuitInstance inst(s, nl);
+  EXPECT_THROW(inst.var_of_name("ghost"), std::invalid_argument);
+  EXPECT_GT(inst.var_of_name("y"), 0);
+}
+
+// --- SAT attack ------------------------------------------------------------------------
+
+Netlist attack_circuit(std::uint64_t seed) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = seed;
+  spec.num_gates = 150;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  return circuitgen::generate(spec);
+}
+
+// The SAT attack must return a FUNCTIONALLY correct key (possibly different
+// bits than the ground truth when decoys are equivalent).
+void expect_functionally_correct(const Netlist& original, const locking::LockedDesign& d,
+                                 const attacks::SatAttackResult& r) {
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.key.size(), d.key_size());
+  sim::HammingOptions pins;
+  pins.num_patterns = 4096;
+  for (std::size_t i = 0; i < r.key.size(); ++i) {
+    pins.extra_inputs_b.emplace_back(d.key_input_names[i], r.key[i] == locking::KeyBit::kOne);
+  }
+  EXPECT_TRUE(sim::functionally_equivalent(original, d.netlist, pins));
+}
+
+TEST(SatAttack, BreaksXorLocking) {
+  const Netlist nl = attack_circuit(5);
+  locking::MuxLockOptions lo;
+  lo.key_bits = 16;
+  const auto d = locking::lock_xor(nl, lo);
+  const auto r = attacks::sat_attack(d.netlist, attacks::make_simulation_oracle(nl, d.netlist));
+  expect_functionally_correct(nl, d, r);
+  EXPECT_LT(r.iterations, 64u);
+}
+
+TEST(SatAttack, BreaksDmux) {
+  const Netlist nl = attack_circuit(7);
+  locking::MuxLockOptions lo;
+  lo.key_bits = 16;
+  const auto d = locking::lock_dmux(nl, lo);
+  const auto r = attacks::sat_attack(d.netlist, attacks::make_simulation_oracle(nl, d.netlist));
+  expect_functionally_correct(nl, d, r);
+}
+
+TEST(SatAttack, BreaksSymmetricLocking) {
+  const Netlist nl = attack_circuit(9);
+  locking::MuxLockOptions lo;
+  lo.key_bits = 12;
+  const auto d = locking::lock_symmetric(nl, lo);
+  const auto r = attacks::sat_attack(d.netlist, attacks::make_simulation_oracle(nl, d.netlist));
+  expect_functionally_correct(nl, d, r);
+}
+
+TEST(SatAttack, IterationCapReturnsFailure) {
+  const Netlist nl = attack_circuit(11);
+  locking::MuxLockOptions lo;
+  lo.key_bits = 16;
+  const auto d = locking::lock_dmux(nl, lo);
+  attacks::SatAttackOptions opts;
+  opts.max_iterations = 0;
+  const auto r = attacks::sat_attack(d.netlist, attacks::make_simulation_oracle(nl, d.netlist),
+                                     opts);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(SatAttack, ThrowsWithoutKeyInputs) {
+  const Netlist nl = attack_circuit(13);
+  EXPECT_THROW(
+      attacks::sat_attack(nl, [](const std::vector<bool>& x) { return x; }),
+      netlist::NetlistError);
+}
+
+TEST(SimulationOracle, MatchesOriginalOutputs) {
+  const Netlist nl = attack_circuit(15);
+  locking::MuxLockOptions lo;
+  lo.key_bits = 8;
+  const auto d = locking::lock_dmux(nl, lo);
+  const auto oracle = attacks::make_simulation_oracle(nl, d.netlist);
+  const sim::Simulator simulator(nl);
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 16; ++t) {
+    std::vector<bool> x;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) x.push_back((rng() & 1) != 0);
+    EXPECT_EQ(oracle(x), simulator.run_single(x));
+  }
+}
+
+}  // namespace
+}  // namespace muxlink

@@ -1,0 +1,250 @@
+// Unit + property tests for the bit-parallel simulator and Hamming-distance
+// machinery.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "netlist/bench_io.h"
+#include "sim/simulator.h"
+
+namespace muxlink::sim {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::parse_bench;
+
+// --- eval_gate truth tables ---------------------------------------------------
+
+TEST(EvalGate, TwoInputTruthTables) {
+  // Patterns: bit0 = (a=0,b=0), bit1 = (1,0), bit2 = (0,1), bit3 = (1,1).
+  const Word pa = 0b1010;  // a: 0,1,0,1
+  const Word pb = 0b1100;  // b: 0,0,1,1
+  const std::array<Word, 2> in{pa, pb};
+  EXPECT_EQ(eval_gate(GateType::kAnd, in) & 0xF, 0b1000u);
+  EXPECT_EQ(eval_gate(GateType::kNand, in) & 0xF, 0b0111u);
+  EXPECT_EQ(eval_gate(GateType::kOr, in) & 0xF, 0b1110u);
+  EXPECT_EQ(eval_gate(GateType::kNor, in) & 0xF, 0b0001u);
+  EXPECT_EQ(eval_gate(GateType::kXor, in) & 0xF, 0b0110u);
+  EXPECT_EQ(eval_gate(GateType::kXnor, in) & 0xF, 0b1001u);
+}
+
+TEST(EvalGate, UnaryAndConstants) {
+  const std::array<Word, 1> in{0b01u};
+  EXPECT_EQ(eval_gate(GateType::kBuf, in) & 0b11, 0b01u);
+  EXPECT_EQ(eval_gate(GateType::kNot, in) & 0b11, 0b10u);
+  EXPECT_EQ(eval_gate(GateType::kConst0, {}), Word{0});
+  EXPECT_EQ(eval_gate(GateType::kConst1, {}), ~Word{0});
+}
+
+TEST(EvalGate, MuxSelectsBySelLine) {
+  // MUX(sel, a, b): sel=0 -> a.
+  const Word sel = 0b1100;
+  const Word a = 0b1010;
+  const Word b = 0b0110;
+  const std::array<Word, 3> in{sel, a, b};
+  // Bits 0-1 (sel=0) come from a (0b10), bits 2-3 (sel=1) from b (0b01).
+  EXPECT_EQ(eval_gate(GateType::kMux, in) & 0xF, 0b0110u);
+}
+
+TEST(EvalGate, MuxBitwiseDefinition) {
+  const Word sel = 0xF0F0F0F0F0F0F0F0ull;
+  const Word a = 0x1234567890ABCDEFull;
+  const Word b = 0xFEDCBA0987654321ull;
+  const std::array<Word, 3> in{sel, a, b};
+  EXPECT_EQ(eval_gate(GateType::kMux, in), (~sel & a) | (sel & b));
+}
+
+TEST(EvalGate, MultiInputGatesFold) {
+  const std::array<Word, 3> in{0b1110, 0b1101, 0b1011};
+  EXPECT_EQ(eval_gate(GateType::kAnd, in) & 0xF, 0b1000u);
+  EXPECT_EQ(eval_gate(GateType::kOr, in) & 0xF, 0b1111u);
+  EXPECT_EQ(eval_gate(GateType::kXor, in) & 0xF, (0b1110u ^ 0b1101u ^ 0b1011u));
+}
+
+TEST(EvalGate, XorFoldMatchesPairwise) {
+  const std::array<Word, 3> in{0xAAAA, 0xCCCC, 0xF0F0};
+  EXPECT_EQ(eval_gate(GateType::kXor, in), 0xAAAAull ^ 0xCCCCull ^ 0xF0F0ull);
+  EXPECT_EQ(eval_gate(GateType::kXnor, in), ~(0xAAAAull ^ 0xCCCCull ^ 0xF0F0ull));
+}
+
+// --- Simulator ------------------------------------------------------------------
+
+TEST(Simulator, EvaluatesC17SinglePatterns) {
+  const Netlist nl = parse_bench(R"(
+INPUT(i1)
+INPUT(i2)
+INPUT(i3)
+INPUT(i6)
+INPUT(i7)
+OUTPUT(o22)
+OUTPUT(o23)
+n10 = NAND(i1, i3)
+n11 = NAND(i3, i6)
+n16 = NAND(i2, n11)
+n19 = NAND(n11, i7)
+o22 = NAND(n10, n16)
+o23 = NAND(n16, n19)
+)", "c17");
+  const Simulator sim(nl);
+  // Reference model evaluated by hand for two vectors.
+  {
+    const std::array<bool, 5> in{false, false, false, false, false};
+    const auto out = sim.run_single(in);
+    // n10=1, n11=1, n16=1, n19=1, o22=NAND(1,1)=0, o23=0.
+    EXPECT_FALSE(out[0]);
+    EXPECT_FALSE(out[1]);
+  }
+  {
+    const std::array<bool, 5> in{true, true, true, true, true};
+    const auto out = sim.run_single(in);
+    // n10=0, n11=0, n16=1, n19=1, o22=1, o23=0.
+    EXPECT_TRUE(out[0]);
+    EXPECT_FALSE(out[1]);
+  }
+}
+
+TEST(Simulator, BitParallelMatchesSingle) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+t1 = XOR(a, b)
+t2 = AND(b, c)
+y = OR(t1, t2)
+z = MUX(a, t1, t2)
+)");
+  const Simulator sim(nl);
+  PatternGenerator gen(7);
+  const auto block = gen.next_block(3);
+  const auto words = sim.run(block);
+  const auto outs = sim.output_words(words);
+  for (int bit = 0; bit < kWordBits; ++bit) {
+    const std::array<bool, 3> single{(block[0] >> bit & 1) != 0, (block[1] >> bit & 1) != 0,
+                                     (block[2] >> bit & 1) != 0};
+    const auto sout = sim.run_single(single);
+    for (std::size_t o = 0; o < sout.size(); ++o) {
+      EXPECT_EQ(sout[o], ((outs[o] >> bit) & 1) != 0) << "bit " << bit << " output " << o;
+    }
+  }
+}
+
+TEST(Simulator, RejectsWrongInputCount) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  const Simulator sim(nl);
+  const std::array<Word, 2> too_many{0, 0};
+  EXPECT_THROW(sim.run(too_many), std::invalid_argument);
+}
+
+TEST(Simulator, ConstantsAndBufChains) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(y)
+c = CONST1()
+b1 = BUF(a)
+b2 = BUF(b1)
+y = AND(b2, c)
+)");
+  const Simulator sim(nl);
+  const std::array<Word, 1> in{0xDEADBEEFull};
+  const auto words = sim.run(in);
+  EXPECT_EQ(words[nl.find("y")], 0xDEADBEEFull);
+}
+
+TEST(PatternGenerator, IsDeterministicPerSeed) {
+  PatternGenerator g1(42), g2(42), g3(43);
+  const auto b1 = g1.next_block(4);
+  const auto b2 = g2.next_block(4);
+  const auto b3 = g3.next_block(4);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NE(b1, b3);
+}
+
+// --- Hamming distance / equivalence ----------------------------------------------
+
+constexpr const char* kXorText = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+)";
+
+TEST(Hamming, IdenticalDesignsHaveZeroHD) {
+  const Netlist a = parse_bench(kXorText, "a");
+  const Netlist b = parse_bench(kXorText, "b");
+  EXPECT_DOUBLE_EQ(hamming_distance_percent(a, b, {.num_patterns = 1000}), 0.0);
+  EXPECT_TRUE(functionally_equivalent(a, b, {.num_patterns = 1000}));
+}
+
+TEST(Hamming, InvertedOutputHasFullHD) {
+  const Netlist a = parse_bench(kXorText, "a");
+  const Netlist b = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n", "b");
+  EXPECT_DOUBLE_EQ(hamming_distance_percent(a, b, {.num_patterns = 640}), 100.0);
+  EXPECT_FALSE(functionally_equivalent(a, b, {.num_patterns = 640}));
+}
+
+TEST(Hamming, IndependentOutputsNearFifty) {
+  // y=a vs y=b on random patterns differ ~50% of the time.
+  const Netlist a = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = BUF(a)\n", "a");
+  const Netlist b = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = BUF(b)\n", "b");
+  const double hd = hamming_distance_percent(a, b, {.num_patterns = 100000});
+  EXPECT_NEAR(hd, 50.0, 1.5);
+}
+
+TEST(Hamming, RespectsNonMultipleOf64PatternCounts) {
+  const Netlist a = parse_bench(kXorText, "a");
+  const Netlist b = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n", "b");
+  EXPECT_DOUBLE_EQ(hamming_distance_percent(a, b, {.num_patterns = 7}), 100.0);
+}
+
+TEST(Hamming, ExtraKeyInputsAreDriven) {
+  // b is "locked": y = XOR(a, k). With k=0 it matches y=a; with k=1 inverted.
+  const Netlist a = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "a");
+  const Netlist locked =
+      parse_bench("INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\ny = XOR(a, keyinput0)\n", "locked");
+  HammingOptions k0;
+  k0.num_patterns = 640;
+  k0.extra_inputs_b = {{"keyinput0", false}};
+  EXPECT_DOUBLE_EQ(hamming_distance_percent(a, locked, k0), 0.0);
+  HammingOptions k1 = k0;
+  k1.extra_inputs_b = {{"keyinput0", true}};
+  EXPECT_DOUBLE_EQ(hamming_distance_percent(a, locked, k1), 100.0);
+  // Missing extra inputs default to 0.
+  EXPECT_TRUE(functionally_equivalent(a, locked, {.num_patterns = 640}));
+}
+
+TEST(Hamming, RejectsMismatchedInterfaces) {
+  const Netlist a = parse_bench(kXorText, "a");
+  const Netlist fewer = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "fewer");
+  EXPECT_THROW(hamming_distance_percent(a, fewer), std::invalid_argument);
+  const Netlist renamed =
+      parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = XOR(a, b)\n", "renamed");
+  EXPECT_THROW(hamming_distance_percent(a, renamed), std::invalid_argument);
+}
+
+TEST(Hamming, IsDeterministicForFixedSeed) {
+  const Netlist a = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = BUF(a)\n", "a");
+  const Netlist b = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "b");
+  const double h1 = hamming_distance_percent(a, b, {.num_patterns = 6400, .seed = 9});
+  const double h2 = hamming_distance_percent(a, b, {.num_patterns = 6400, .seed = 9});
+  EXPECT_DOUBLE_EQ(h1, h2);
+}
+
+// Property sweep: for random pattern blocks, De Morgan holds gate-for-gate.
+class DeMorganProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeMorganProperty, NandEqualsOrOfComplements) {
+  PatternGenerator gen(GetParam());
+  const auto block = gen.next_block(2);
+  const std::array<Word, 2> in{block[0], block[1]};
+  const std::array<Word, 2> inv{~block[0], ~block[1]};
+  EXPECT_EQ(eval_gate(GateType::kNand, in), eval_gate(GateType::kOr, inv));
+  EXPECT_EQ(eval_gate(GateType::kNor, in), eval_gate(GateType::kAnd, inv));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeMorganProperty, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace muxlink::sim

@@ -1,0 +1,299 @@
+// Tests for the MLP substrate, the SnapShot-like locality-vector attack,
+// TRLL locking, and the ANT/RNT learning-resilience harness (§II of the
+// paper).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/metrics.h"
+#include "attacks/snapshot.h"
+#include "circuitgen/generator.h"
+#include "eval/resilience_tests.h"
+#include "gnn/mlp.h"
+#include "locking/mux_lock.h"
+#include "locking/trll.h"
+#include "netlist/analysis.h"
+#include "sim/simulator.h"
+
+namespace muxlink {
+namespace {
+
+using locking::KeyBit;
+using locking::LockedDesign;
+using locking::MuxLockOptions;
+using netlist::GateType;
+using netlist::Netlist;
+
+Netlist test_circuit(std::uint64_t seed = 1, std::size_t gates = 250) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = seed;
+  spec.num_gates = gates;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  return circuitgen::generate(spec);
+}
+
+// --- MLP -----------------------------------------------------------------------
+
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  gnn::MlpConfig cfg;
+  cfg.hidden = {6, 4};
+  cfg.dropout = 0.0;
+  cfg.seed = 3;
+  gnn::Mlp model(5, cfg);
+  const std::vector<double> x{0.3, -0.7, 1.2, 0.0, 0.5};
+  const int label = 1;
+
+  model.zero_gradients();
+  model.accumulate_gradients(x, label);
+  const auto& analytic = model.gradients();
+  const auto params = model.save_parameters();
+
+  auto loss_of = [&](gnn::Mlp& m) {
+    const double p1 = m.predict(x);
+    return -std::log(std::max(label == 1 ? p1 : 1.0 - p1, 1e-12));
+  };
+  const double eps = 1e-6;
+  std::size_t bad = 0, checked = 0;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    for (std::size_t e = 0; e < params[t].data.size(); ++e) {
+      auto plus = params;
+      auto minus = params;
+      plus[t].data[e] += eps;
+      minus[t].data[e] -= eps;
+      gnn::Mlp mp(5, cfg), mm(5, cfg);
+      mp.load_parameters(plus);
+      mm.load_parameters(minus);
+      const double numeric = (loss_of(mp) - loss_of(mm)) / (2 * eps);
+      const double exact = analytic[t].data[e];
+      ++checked;
+      if (std::abs(numeric - exact) > 1e-5 * std::max({1.0, std::abs(numeric)})) ++bad;
+    }
+  }
+  EXPECT_GT(checked, 50u);
+  EXPECT_LE(bad, checked / 100);
+}
+
+TEST(Mlp, LearnsLinearlySeparableData) {
+  gnn::MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.learning_rate = 5e-3;
+  std::vector<gnn::MlpSample> data;
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x{unit(rng), unit(rng), unit(rng)};
+    data.push_back({x, x[0] + 0.5 * x[1] > 0 ? 1 : 0});
+  }
+  gnn::Mlp model(3, cfg);
+  gnn::MlpTrainOptions topts;
+  topts.epochs = 60;
+  const auto report = gnn::train_mlp(model, data, topts);
+  EXPECT_GT(report.best_val_accuracy, 0.9);
+  EXPECT_GT(gnn::evaluate_mlp_accuracy(model, data), 0.9);
+}
+
+TEST(Mlp, RejectsBadShapes) {
+  gnn::MlpConfig cfg;
+  EXPECT_THROW(gnn::Mlp(0, cfg), std::invalid_argument);
+  cfg.hidden = {0};
+  EXPECT_THROW(gnn::Mlp(4, cfg), std::invalid_argument);
+  cfg = {};
+  gnn::Mlp model(4, cfg);
+  EXPECT_THROW(model.predict({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(model.load_parameters({}), std::invalid_argument);
+}
+
+TEST(Mlp, DropoutOnlyAffectsTraining) {
+  gnn::MlpConfig cfg;
+  cfg.dropout = 0.5;
+  gnn::Mlp model(4, cfg);
+  const std::vector<double> x{1, 2, 3, 4};
+  const double a = model.predict(x, /*training=*/false);
+  const double b = model.predict(x, /*training=*/false);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// --- locality vectors -------------------------------------------------------------
+
+TEST(Snapshot, LocalityVectorHasFixedLength) {
+  const Netlist nl = test_circuit(5);
+  MuxLockOptions lo;
+  lo.key_bits = 8;
+  const LockedDesign d = locking::lock_dmux(nl, lo);
+  attacks::SnapshotOptions opts;
+  const auto v1 = attacks::locality_vector(d.netlist, d.key_gates[0].gate, opts);
+  const auto v2 = attacks::locality_vector(d.netlist, d.key_gates[1].gate, opts);
+  EXPECT_EQ(v1.size(), v2.size());
+  // Root slot one-hot encodes the key gate itself (a MUX for D-MUX locking).
+  EXPECT_DOUBLE_EQ(v1[static_cast<int>(GateType::kMux)], 1.0);
+  for (double x : v1) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Snapshot, DistinctLocalitiesYieldDistinctVectors) {
+  const Netlist nl = test_circuit(7);
+  MuxLockOptions lo;
+  lo.key_bits = 8;
+  const LockedDesign d = locking::lock_dmux(nl, lo);
+  attacks::SnapshotOptions opts;
+  const auto v1 = attacks::locality_vector(d.netlist, d.key_gates[0].gate, opts);
+  const auto v2 = attacks::locality_vector(d.netlist, d.key_gates[3].gate, opts);
+  EXPECT_NE(v1, v2);
+}
+
+// --- SnapShot attack ---------------------------------------------------------------
+
+TEST(Snapshot, BreaksPlainXorLocking) {
+  // Without re-synthesis the XOR/XNOR gate type maps directly to the key
+  // bit (Fig. 1 of the paper): a locality classifier must get ~100%.
+  attacks::SnapshotAttack attack;
+  MuxLockOptions lo;
+  lo.key_bits = 24;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    lo.seed = s + 1;
+    attack.add_training_design(locking::lock_xor(test_circuit(30 + s), lo));
+  }
+  attack.train();
+  lo.seed = 9;
+  const LockedDesign victim = locking::lock_xor(test_circuit(99), lo);
+  const auto score = attacks::score_key(victim.key, attack.attack(victim.netlist));
+  EXPECT_GT(score.kpa_percent(), 95.0);
+  EXPECT_GT(score.decision_rate_percent(), 90.0);
+}
+
+TEST(Snapshot, ChanceOnDmux) {
+  // The D-MUX design goal, verified with SnapShot in [10]: KPA ~ 50%.
+  attacks::SnapshotAttack attack;
+  MuxLockOptions lo;
+  lo.key_bits = 24;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    lo.seed = s + 1;
+    attack.add_training_design(locking::lock_dmux(test_circuit(40 + s), lo));
+  }
+  attack.train();
+  lo.seed = 9;
+  const LockedDesign victim = locking::lock_dmux(test_circuit(98), lo);
+  const auto score = attacks::score_key(victim.key, attack.attack(victim.netlist));
+  // Few decisions and/or chance-level accuracy.
+  EXPECT_LT(score.accuracy_percent(), 70.0);
+}
+
+TEST(Snapshot, RequiresTraining) {
+  attacks::SnapshotAttack attack;
+  EXPECT_THROW(attack.train(), std::logic_error);
+  const Netlist nl = test_circuit(3);
+  MuxLockOptions lo;
+  lo.key_bits = 4;
+  const LockedDesign d = locking::lock_xor(nl, lo);
+  EXPECT_THROW(attack.attack(d.netlist), std::logic_error);
+}
+
+// --- TRLL ---------------------------------------------------------------------------
+
+TEST(Trll, CorrectKeyPreservesFunctionality) {
+  const Netlist nl = test_circuit(11);
+  MuxLockOptions lo;
+  lo.key_bits = 24;
+  lo.seed = 7;
+  const LockedDesign d = locking::lock_trll(nl, lo);
+  EXPECT_EQ(d.key.size(), 24u);
+  sim::HammingOptions pins;
+  pins.num_patterns = 2048;
+  for (std::size_t i = 0; i < d.key.size(); ++i) {
+    pins.extra_inputs_b.emplace_back(d.key_input_names[i], d.key[i] != 0);
+  }
+  EXPECT_TRUE(sim::functionally_equivalent(nl, d.netlist, pins));
+}
+
+TEST(Trll, UsesBothGateFlavorsForBothKeyValues) {
+  const Netlist nl = test_circuit(13, 500);
+  MuxLockOptions lo;
+  lo.key_bits = 64;
+  lo.seed = 3;
+  const LockedDesign d = locking::lock_trll(nl, lo);
+  // Count (gate type, key value) combinations over the key gates.
+  int xor_k0 = 0, xor_k1 = 0, xnor_k0 = 0, xnor_k1 = 0;
+  for (const auto& kg : d.key_gates) {
+    const GateType t = d.netlist.gate(kg.gate).type;
+    const bool k = d.key[kg.key_bit] != 0;
+    if (t == GateType::kXor) (k ? xor_k1 : xor_k0)++;
+    if (t == GateType::kXnor) (k ? xnor_k1 : xnor_k0)++;
+  }
+  // The defining TRLL property: no type <-> key mapping.
+  EXPECT_GT(xor_k0, 0);
+  EXPECT_GT(xor_k1, 0);
+  EXPECT_GT(xnor_k0, 0);
+  EXPECT_GT(xnor_k1, 0);
+}
+
+TEST(Trll, IsAcyclicAndValid) {
+  const Netlist nl = test_circuit(17);
+  MuxLockOptions lo;
+  lo.key_bits = 16;
+  const LockedDesign d = locking::lock_trll(nl, lo);
+  EXPECT_FALSE(netlist::has_combinational_loop(d.netlist));
+  EXPECT_NO_THROW(d.netlist.validate());
+}
+
+TEST(Trll, PartialLockingHonored) {
+  const Netlist nl = test_circuit(19, 60);
+  MuxLockOptions lo;
+  lo.key_bits = 4096;
+  EXPECT_THROW(locking::lock_trll(nl, lo), std::invalid_argument);
+  lo.allow_partial = true;
+  const LockedDesign d = locking::lock_trll(nl, lo);
+  EXPECT_GT(d.key.size(), 0u);
+  EXPECT_LT(d.key.size(), 4096u);
+}
+
+// --- ANT / RNT harness ----------------------------------------------------------------
+
+TEST(ResilienceTests, XorLockingFailsBothTests) {
+  eval::ResilienceTestOptions opts;
+  opts.key_bits = 24;
+  opts.train_designs = 6;
+  opts.test_designs = 3;
+  const auto locker = [](const Netlist& nl, const MuxLockOptions& lo) {
+    return locking::lock_xor(nl, lo);
+  };
+  const auto result = eval::run_learning_resilience_tests(locker, opts);
+  EXPECT_FALSE(result.passes_ant);
+  EXPECT_FALSE(result.passes_rnt);
+  EXPECT_GT(result.ant_forced_kpa, 75.0);
+  EXPECT_GT(result.rnt_forced_kpa, 75.0);
+}
+
+TEST(ResilienceTests, TrllPassesRntButFailsAnt) {
+  // §II-B: "Although TRLL does not rely on synthesis tools and passes RNT,
+  // it fails ANT ... and reduces to a conventional XOR-based LL technique."
+  eval::ResilienceTestOptions opts;
+  opts.key_bits = 24;
+  opts.train_designs = 6;
+  opts.test_designs = 3;
+  const auto locker = [](const Netlist& nl, const MuxLockOptions& lo) {
+    return locking::lock_trll(nl, lo);
+  };
+  const auto result = eval::run_learning_resilience_tests(locker, opts);
+  EXPECT_TRUE(result.passes_rnt) << "RNT forced KPA " << result.rnt_forced_kpa;
+  EXPECT_FALSE(result.passes_ant) << "ANT forced KPA " << result.ant_forced_kpa;
+}
+
+TEST(ResilienceTests, DmuxPassesBothTests) {
+  eval::ResilienceTestOptions opts;
+  opts.key_bits = 24;
+  opts.train_designs = 6;
+  opts.test_designs = 3;
+  const auto locker = [](const Netlist& nl, const MuxLockOptions& lo) {
+    return locking::lock_dmux(nl, lo);
+  };
+  const auto result = eval::run_learning_resilience_tests(locker, opts);
+  EXPECT_TRUE(result.passes_ant) << result.ant_forced_kpa;
+  EXPECT_TRUE(result.passes_rnt) << result.rnt_forced_kpa;
+  EXPECT_TRUE(result.learning_resilient());
+}
+
+}  // namespace
+}  // namespace muxlink

@@ -1,0 +1,134 @@
+// Tests for the structural Verilog reader/writer.
+#include <gtest/gtest.h>
+
+#include "circuitgen/generator.h"
+#include "circuitgen/suites.h"
+#include "locking/mux_lock.h"
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+#include "sim/simulator.h"
+
+namespace muxlink::netlist {
+namespace {
+
+TEST(VerilogIO, ParsesHandWrittenModule) {
+  const Netlist nl = parse_verilog(R"(
+// a tiny module
+module adder_bit (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire axb, ab, cx;
+  xor g0 (axb, a, b);
+  xor g1 (sum, axb, cin);
+  and g2 (ab, a, b);
+  and g3 (cx, axb, cin);
+  or  g4 (cout, ab, cx);
+endmodule
+)");
+  EXPECT_EQ(nl.name(), "adder_bit");
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.num_logic_gates, 5u);
+  // Functional spot-check: 1 + 1 + 0 = sum 0, carry 1.
+  const sim::Simulator sim(nl);
+  const std::vector<bool> in{true, true, false};
+  const auto out = sim.run_single(in);
+  EXPECT_FALSE(out[0]);  // sum
+  EXPECT_TRUE(out[1]);   // cout
+}
+
+TEST(VerilogIO, HandlesCommentsAssignsAndConstants) {
+  const Netlist nl = parse_verilog(R"(
+module m (a, y, z);
+  /* block
+     comment */
+  input a;
+  output y, z;
+  wire t;
+  assign t = a;     // alias
+  and g0 (y, t, 1'b1);
+  or  g1 (z, a, 1'b0);
+endmodule
+)");
+  const sim::Simulator sim(nl);
+  EXPECT_TRUE(sim.run_single(std::vector<bool>{true})[0]);
+  EXPECT_FALSE(sim.run_single(std::vector<bool>{false})[1]);
+}
+
+TEST(VerilogIO, RoundTripPreservesFunction) {
+  circuitgen::CircuitSpec spec;
+  spec.seed = 9;
+  spec.num_gates = 180;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  const Netlist nl = circuitgen::generate(spec);
+  const Netlist back = parse_verilog(write_verilog(nl));
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  EXPECT_TRUE(sim::functionally_equivalent(nl, back, {.num_patterns = 1024}));
+}
+
+TEST(VerilogIO, RoundTripsLockedDesignsWithMuxes) {
+  const Netlist nl = circuitgen::make_benchmark("c432");
+  locking::MuxLockOptions opts;
+  opts.key_bits = 16;
+  const auto d = locking::lock_dmux(nl, opts);
+  const Netlist back = parse_verilog(write_verilog(d.netlist));
+  const auto s = compute_stats(back);
+  EXPECT_EQ(s.count_by_type[static_cast<int>(GateType::kMux)],
+            compute_stats(d.netlist).count_by_type[static_cast<int>(GateType::kMux)]);
+  EXPECT_TRUE(sim::functionally_equivalent(d.netlist, back, {.num_patterns = 1024}));
+}
+
+TEST(VerilogIO, EscapesAwkwardNames) {
+  // BENCH allows names like "1GAT(0)"-ish tokens; the writer must escape
+  // anything that is not a plain Verilog identifier.
+  Netlist nl("top");
+  const auto a = nl.add_input("3");
+  const auto g = nl.add_gate("n|odd", GateType::kNot, {a});
+  nl.mark_output(g);
+  const std::string text = write_verilog(nl);
+  EXPECT_NE(text.find("\\3 "), std::string::npos);
+  const Netlist back = parse_verilog(text);
+  EXPECT_TRUE(back.contains("3"));
+  EXPECT_TRUE(back.contains("n|odd"));
+  EXPECT_TRUE(sim::functionally_equivalent(nl, back, {.num_patterns = 64}));
+}
+
+TEST(VerilogIO, BenchToVerilogToBench) {
+  const Netlist c17 = circuitgen::make_c17();
+  const Netlist via_verilog = parse_verilog(write_verilog(c17));
+  EXPECT_TRUE(sim::functionally_equivalent(c17, via_verilog, {.num_patterns = 64}));
+  const Netlist back_to_bench = parse_bench(write_bench(via_verilog), "c17");
+  EXPECT_TRUE(sim::functionally_equivalent(c17, back_to_bench, {.num_patterns = 64}));
+}
+
+TEST(VerilogIO, ErrorsCarryLineNumbers) {
+  try {
+    parse_verilog("module m (a);\n  input a;\n  frobnicate g0 (a);\nendmodule\n");
+    FAIL() << "expected VerilogParseError";
+  } catch (const VerilogParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(VerilogIO, RejectsMalformedModules) {
+  EXPECT_THROW(parse_verilog(""), VerilogParseError);
+  EXPECT_THROW(parse_verilog("wire w;"), VerilogParseError);
+  EXPECT_THROW(parse_verilog("module m (a); input a;"), VerilogParseError);  // no endmodule
+  EXPECT_THROW(parse_verilog("module m; and g0 (y, ghost); endmodule"), VerilogParseError);
+  EXPECT_THROW(parse_verilog("module m; and g0 (y); endmodule"), VerilogParseError);
+}
+
+TEST(VerilogIO, FileRoundTrip) {
+  const Netlist nl = circuitgen::make_c17();
+  const auto path = std::filesystem::temp_directory_path() / "muxlink_c17.v";
+  write_verilog_file(nl, path);
+  const Netlist back = read_verilog_file(path);
+  EXPECT_TRUE(sim::functionally_equivalent(nl, back, {.num_patterns = 64}));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace muxlink::netlist

@@ -1,0 +1,78 @@
+// Tiny declarative argument parser for the muxlink CLI (kept header-only so
+// the unit tests can exercise it without linking the tool).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace muxlink::tools {
+
+class CliArgs {
+ public:
+  // argv after the subcommand: positional args and --key value / --flag.
+  CliArgs(int argc, const char* const* argv) {
+    for (int i = 0; i < argc; ++i) {
+      const std::string tok = argv[i];
+      if (tok.rfind("--", 0) == 0) {
+        const std::string key = tok.substr(2);
+        if (key.empty()) throw std::invalid_argument("empty option name");
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";  // bare flag
+        }
+      } else {
+        positional_.push_back(tok);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+
+  long get_long(const std::string& key, long fallback) const {
+    const auto v = get(key);
+    if (!v) return fallback;
+    std::size_t pos = 0;
+    const long parsed = std::stol(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("--" + key + ": expected an integer");
+    return parsed;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    if (!v) return fallback;
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("--" + key + ": expected a number");
+    return parsed;
+  }
+
+  bool has(const std::string& key) const { return options_.contains(key); }
+
+  // Rejects unknown options (catches typos early).
+  void allow_only(const std::vector<std::string>& keys) const {
+    for (const auto& [key, value] : options_) {
+      bool ok = false;
+      for (const auto& k : keys) ok = ok || k == key;
+      if (!ok) throw std::invalid_argument("unknown option --" + key);
+    }
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace muxlink::tools

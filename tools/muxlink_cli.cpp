@@ -1,0 +1,224 @@
+// muxlink — command-line front end for the whole tool chain.
+//
+//   muxlink gen <benchmark> [--scale S] [--out file.bench]
+//   muxlink stats <file.bench>
+//   muxlink lock <file.bench> --scheme dmux|symmetric|xor|naive|trll
+//                [--key-bits N] [--seed S] [--out locked.bench]
+//                [--key-out key.txt] [--allow-partial]
+//   muxlink attack <locked.bench> [--hops H] [--th T] [--epochs E]
+//                  [--lr L] [--links N] [--seed S]
+//                  [--key-out key.txt] [--recover out.bench]
+//   muxlink saam <locked.bench>
+//   muxlink scope <locked.bench>
+//   muxlink hd <a.bench> <b.bench> [--patterns N] [--key BITSTRING]
+//
+// Exit code 0 on success, 1 on CLI misuse, 2 on processing errors.
+#include <fstream>
+#include <iostream>
+
+#include "attacks/constprop.h"
+#include "attacks/saam.h"
+#include "circuitgen/suites.h"
+#include "locking/mux_lock.h"
+#include "locking/trll.h"
+#include "muxlink/attack.h"
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+#include "sim/simulator.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace muxlink;
+using tools::CliArgs;
+
+// .v / .sv files use structural Verilog; everything else is BENCH.
+bool is_verilog(const std::string& path) {
+  return path.ends_with(".v") || path.ends_with(".sv");
+}
+
+netlist::Netlist read_design(const std::string& path) {
+  return is_verilog(path) ? netlist::read_verilog_file(path) : netlist::read_bench_file(path);
+}
+
+void write_design(const netlist::Netlist& nl, const std::string& path) {
+  if (is_verilog(path)) {
+    netlist::write_verilog_file(nl, path);
+  } else {
+    netlist::write_bench_file(nl, path);
+  }
+}
+
+int usage() {
+  std::cerr <<
+      R"(usage: muxlink <command> [options]
+
+BENCH files by default; *.v / *.sv are read/written as structural Verilog.
+
+commands:
+  gen <benchmark> [--scale S] [--out F]        generate a named benchmark
+  stats <file.bench>                           structural summary
+  lock <file.bench> --scheme X [--key-bits N]  lock a design
+       [--seed S] [--out F] [--key-out F] [--allow-partial]
+  attack <locked.bench> [--hops H] [--th T]    run the MuxLink attack
+       [--epochs E] [--lr L] [--links N] [--seed S]
+       [--key-out F] [--recover F]
+  saam <locked.bench>                          structural SAAM attack
+  scope <locked.bench>                         unsupervised SCOPE attack
+  hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
+       [--key BITSTRING]                       (key pins for b's keyinputs)
+)";
+  return 1;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write '" + path + "'");
+  os << text;
+}
+
+int cmd_gen(const CliArgs& args) {
+  args.allow_only({"scale", "out"});
+  if (args.positional().size() != 1) return usage();
+  const auto nl =
+      circuitgen::make_benchmark(args.positional()[0], args.get_double("scale", 1.0));
+  if (const auto out = args.get("out")) {
+    write_design(nl, *out);
+    std::cout << "wrote " << *out << "\n";
+  } else {
+    std::cout << netlist::write_bench(nl);
+  }
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  args.allow_only({});
+  if (args.positional().size() != 1) return usage();
+  const auto nl = read_design(args.positional()[0]);
+  std::cout << nl.name() << ": " << netlist::format_stats(netlist::compute_stats(nl));
+  const auto keys = attacks::find_key_inputs(nl);
+  if (!keys.empty()) std::cout << "  key inputs: " << keys.size() << "\n";
+  return 0;
+}
+
+int cmd_lock(const CliArgs& args) {
+  args.allow_only({"scheme", "key-bits", "seed", "out", "key-out", "allow-partial"});
+  if (args.positional().size() != 1) return usage();
+  const auto nl = read_design(args.positional()[0]);
+  locking::MuxLockOptions opts;
+  opts.key_bits = static_cast<std::size_t>(args.get_long("key-bits", 64));
+  opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  opts.allow_partial = args.has("allow-partial");
+  const std::string scheme = args.get_or("scheme", "dmux");
+  locking::LockedDesign d;
+  if (scheme == "dmux") {
+    d = locking::lock_dmux(nl, opts);
+  } else if (scheme == "symmetric") {
+    d = locking::lock_symmetric(nl, opts);
+  } else if (scheme == "xor") {
+    d = locking::lock_xor(nl, opts);
+  } else if (scheme == "naive") {
+    d = locking::lock_naive_mux(nl, opts);
+  } else if (scheme == "trll") {
+    d = locking::lock_trll(nl, opts);
+  } else {
+    std::cerr << "unknown scheme '" << scheme << "'\n";
+    return 1;
+  }
+  std::cout << "locked with " << d.key_size() << " key bits (" << d.scheme
+            << "); key = " << d.key_string() << "\n";
+  if (const auto out = args.get("out")) {
+    write_design(d.netlist, *out);
+    std::cout << "wrote " << *out << "\n";
+  } else {
+    std::cout << netlist::write_bench(d.netlist);
+  }
+  if (const auto key_out = args.get("key-out")) write_text(*key_out, d.key_string() + "\n");
+  return 0;
+}
+
+std::string render_key(const std::vector<locking::KeyBit>& key) {
+  std::string s;
+  for (locking::KeyBit b : key) s.push_back(locking::to_char(b));
+  return s;
+}
+
+int cmd_attack(const CliArgs& args) {
+  args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover"});
+  if (args.positional().size() != 1) return usage();
+  const auto locked = read_design(args.positional()[0]);
+  core::MuxLinkOptions opts;
+  opts.hops = static_cast<int>(args.get_long("hops", 3));
+  opts.threshold = args.get_double("th", 0.01);
+  opts.epochs = static_cast<int>(args.get_long("epochs", 30));
+  opts.learning_rate = args.get_double("lr", 1e-3);
+  opts.max_train_links = static_cast<std::size_t>(args.get_long("links", 100000));
+  opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  core::MuxLinkAttack attack(opts);
+  const auto result = attack.run(locked);
+  std::cout << "deciphered key = " << render_key(result.key) << "\n";
+  std::cout << "trained on " << result.training_links << " links (val acc "
+            << result.training.best_val_accuracy << "), " << result.total_seconds << "s total\n";
+  if (const auto key_out = args.get("key-out")) write_text(*key_out, render_key(result.key) + "\n");
+  if (const auto recover = args.get("recover")) {
+    write_design(core::recover_design(locked, result.key), *recover);
+    std::cout << "wrote " << *recover << "\n";
+  }
+  return 0;
+}
+
+int cmd_simple_attack(const CliArgs& args, bool saam) {
+  args.allow_only({});
+  if (args.positional().size() != 1) return usage();
+  const auto locked = read_design(args.positional()[0]);
+  const auto key = saam ? attacks::saam_attack(locked) : attacks::scope_attack(locked);
+  std::cout << "deciphered key = " << render_key(key) << "\n";
+  return 0;
+}
+
+int cmd_hd(const CliArgs& args) {
+  args.allow_only({"patterns", "key"});
+  if (args.positional().size() != 2) return usage();
+  const auto a = read_design(args.positional()[0]);
+  const auto b = read_design(args.positional()[1]);
+  sim::HammingOptions opts;
+  opts.num_patterns = static_cast<std::size_t>(args.get_long("patterns", 100000));
+  if (const auto key = args.get("key")) {
+    const auto keys = attacks::find_key_inputs(b);
+    if (keys.size() != key->size()) {
+      std::cerr << "--key length " << key->size() << " != " << keys.size()
+                << " key inputs in " << b.name() << "\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      opts.extra_inputs_b.emplace_back(keys[i].name, (*key)[i] == '1');
+    }
+  }
+  std::cout << "HD = " << sim::hamming_distance_percent(a, b, opts) << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const CliArgs args(argc - 2, argv + 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "lock") return cmd_lock(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "saam") return cmd_simple_attack(args, true);
+    if (cmd == "scope") return cmd_simple_attack(args, false);
+    if (cmd == "hd") return cmd_hd(args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
