@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ant_rnt.dir/bench_ant_rnt.cpp.o"
+  "CMakeFiles/bench_ant_rnt.dir/bench_ant_rnt.cpp.o.d"
+  "bench_ant_rnt"
+  "bench_ant_rnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ant_rnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_omla.dir/bench_omla.cpp.o"
+  "CMakeFiles/bench_omla.dir/bench_omla.cpp.o.d"
+  "bench_omla"
+  "bench_omla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_saam.dir/bench_saam.cpp.o"
+  "CMakeFiles/bench_saam.dir/bench_saam.cpp.o.d"
+  "bench_saam"
+  "bench_saam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_saam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_workflow.dir/bench_file_workflow.cpp.o"
+  "CMakeFiles/bench_file_workflow.dir/bench_file_workflow.cpp.o.d"
+  "bench_file_workflow"
+  "bench_file_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/break_and_recover.dir/break_and_recover.cpp.o"
+  "CMakeFiles/break_and_recover.dir/break_and_recover.cpp.o.d"
+  "break_and_recover"
+  "break_and_recover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/break_and_recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

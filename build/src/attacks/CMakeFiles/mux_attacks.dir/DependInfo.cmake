@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/constprop.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/constprop.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/constprop.cpp.o.d"
+  "/root/repo/src/attacks/key_trace.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/key_trace.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/key_trace.cpp.o.d"
+  "/root/repo/src/attacks/metrics.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/metrics.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/metrics.cpp.o.d"
+  "/root/repo/src/attacks/omla.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/omla.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/omla.cpp.o.d"
+  "/root/repo/src/attacks/saam.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/saam.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/saam.cpp.o.d"
+  "/root/repo/src/attacks/sat_attack.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/sat_attack.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/sat_attack.cpp.o.d"
+  "/root/repo/src/attacks/snapshot.cpp" "src/attacks/CMakeFiles/mux_attacks.dir/snapshot.cpp.o" "gcc" "src/attacks/CMakeFiles/mux_attacks.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mux_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/mux_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mux_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/mux_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/mux_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

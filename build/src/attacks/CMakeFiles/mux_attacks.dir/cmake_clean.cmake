@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_attacks.dir/constprop.cpp.o"
+  "CMakeFiles/mux_attacks.dir/constprop.cpp.o.d"
+  "CMakeFiles/mux_attacks.dir/key_trace.cpp.o"
+  "CMakeFiles/mux_attacks.dir/key_trace.cpp.o.d"
+  "CMakeFiles/mux_attacks.dir/metrics.cpp.o"
+  "CMakeFiles/mux_attacks.dir/metrics.cpp.o.d"
+  "CMakeFiles/mux_attacks.dir/omla.cpp.o"
+  "CMakeFiles/mux_attacks.dir/omla.cpp.o.d"
+  "CMakeFiles/mux_attacks.dir/saam.cpp.o"
+  "CMakeFiles/mux_attacks.dir/saam.cpp.o.d"
+  "CMakeFiles/mux_attacks.dir/sat_attack.cpp.o"
+  "CMakeFiles/mux_attacks.dir/sat_attack.cpp.o.d"
+  "CMakeFiles/mux_attacks.dir/snapshot.cpp.o"
+  "CMakeFiles/mux_attacks.dir/snapshot.cpp.o.d"
+  "libmux_attacks.a"
+  "libmux_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

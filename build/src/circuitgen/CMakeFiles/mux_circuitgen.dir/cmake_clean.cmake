@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_circuitgen.dir/generator.cpp.o"
+  "CMakeFiles/mux_circuitgen.dir/generator.cpp.o.d"
+  "CMakeFiles/mux_circuitgen.dir/suites.cpp.o"
+  "CMakeFiles/mux_circuitgen.dir/suites.cpp.o.d"
+  "libmux_circuitgen.a"
+  "libmux_circuitgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_circuitgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

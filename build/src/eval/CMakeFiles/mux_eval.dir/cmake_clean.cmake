@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_eval.dir/protocol.cpp.o"
+  "CMakeFiles/mux_eval.dir/protocol.cpp.o.d"
+  "CMakeFiles/mux_eval.dir/resilience_tests.cpp.o"
+  "CMakeFiles/mux_eval.dir/resilience_tests.cpp.o.d"
+  "CMakeFiles/mux_eval.dir/table.cpp.o"
+  "CMakeFiles/mux_eval.dir/table.cpp.o.d"
+  "libmux_eval.a"
+  "libmux_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/dgcnn.cpp" "src/gnn/CMakeFiles/mux_gnn.dir/dgcnn.cpp.o" "gcc" "src/gnn/CMakeFiles/mux_gnn.dir/dgcnn.cpp.o.d"
+  "/root/repo/src/gnn/encoding.cpp" "src/gnn/CMakeFiles/mux_gnn.dir/encoding.cpp.o" "gcc" "src/gnn/CMakeFiles/mux_gnn.dir/encoding.cpp.o.d"
+  "/root/repo/src/gnn/mlp.cpp" "src/gnn/CMakeFiles/mux_gnn.dir/mlp.cpp.o" "gcc" "src/gnn/CMakeFiles/mux_gnn.dir/mlp.cpp.o.d"
+  "/root/repo/src/gnn/serialize.cpp" "src/gnn/CMakeFiles/mux_gnn.dir/serialize.cpp.o" "gcc" "src/gnn/CMakeFiles/mux_gnn.dir/serialize.cpp.o.d"
+  "/root/repo/src/gnn/trainer.cpp" "src/gnn/CMakeFiles/mux_gnn.dir/trainer.cpp.o" "gcc" "src/gnn/CMakeFiles/mux_gnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mux_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

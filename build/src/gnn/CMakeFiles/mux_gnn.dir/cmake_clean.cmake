@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_gnn.dir/dgcnn.cpp.o"
+  "CMakeFiles/mux_gnn.dir/dgcnn.cpp.o.d"
+  "CMakeFiles/mux_gnn.dir/encoding.cpp.o"
+  "CMakeFiles/mux_gnn.dir/encoding.cpp.o.d"
+  "CMakeFiles/mux_gnn.dir/mlp.cpp.o"
+  "CMakeFiles/mux_gnn.dir/mlp.cpp.o.d"
+  "CMakeFiles/mux_gnn.dir/serialize.cpp.o"
+  "CMakeFiles/mux_gnn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mux_gnn.dir/trainer.cpp.o"
+  "CMakeFiles/mux_gnn.dir/trainer.cpp.o.d"
+  "libmux_gnn.a"
+  "libmux_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

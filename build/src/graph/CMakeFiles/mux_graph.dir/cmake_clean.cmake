@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_graph.dir/circuit_graph.cpp.o"
+  "CMakeFiles/mux_graph.dir/circuit_graph.cpp.o.d"
+  "CMakeFiles/mux_graph.dir/sampling.cpp.o"
+  "CMakeFiles/mux_graph.dir/sampling.cpp.o.d"
+  "CMakeFiles/mux_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/mux_graph.dir/subgraph.cpp.o.d"
+  "libmux_graph.a"
+  "libmux_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

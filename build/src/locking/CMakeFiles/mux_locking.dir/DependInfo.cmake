@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locking/mux_lock.cpp" "src/locking/CMakeFiles/mux_locking.dir/mux_lock.cpp.o" "gcc" "src/locking/CMakeFiles/mux_locking.dir/mux_lock.cpp.o.d"
+  "/root/repo/src/locking/resolve.cpp" "src/locking/CMakeFiles/mux_locking.dir/resolve.cpp.o" "gcc" "src/locking/CMakeFiles/mux_locking.dir/resolve.cpp.o.d"
+  "/root/repo/src/locking/trll.cpp" "src/locking/CMakeFiles/mux_locking.dir/trll.cpp.o" "gcc" "src/locking/CMakeFiles/mux_locking.dir/trll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mux_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mux_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mux_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

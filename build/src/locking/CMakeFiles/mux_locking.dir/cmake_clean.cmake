@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_locking.dir/mux_lock.cpp.o"
+  "CMakeFiles/mux_locking.dir/mux_lock.cpp.o.d"
+  "CMakeFiles/mux_locking.dir/resolve.cpp.o"
+  "CMakeFiles/mux_locking.dir/resolve.cpp.o.d"
+  "CMakeFiles/mux_locking.dir/trll.cpp.o"
+  "CMakeFiles/mux_locking.dir/trll.cpp.o.d"
+  "libmux_locking.a"
+  "libmux_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmux_locking.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_core.dir/attack.cpp.o"
+  "CMakeFiles/mux_core.dir/attack.cpp.o.d"
+  "libmux_core.a"
+  "libmux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/analysis.cpp" "src/netlist/CMakeFiles/mux_netlist.dir/analysis.cpp.o" "gcc" "src/netlist/CMakeFiles/mux_netlist.dir/analysis.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/mux_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/mux_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/gate_type.cpp" "src/netlist/CMakeFiles/mux_netlist.dir/gate_type.cpp.o" "gcc" "src/netlist/CMakeFiles/mux_netlist.dir/gate_type.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/mux_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/mux_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/netlist/CMakeFiles/mux_netlist.dir/verilog_io.cpp.o" "gcc" "src/netlist/CMakeFiles/mux_netlist.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_netlist.dir/analysis.cpp.o"
+  "CMakeFiles/mux_netlist.dir/analysis.cpp.o.d"
+  "CMakeFiles/mux_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/mux_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/mux_netlist.dir/gate_type.cpp.o"
+  "CMakeFiles/mux_netlist.dir/gate_type.cpp.o.d"
+  "CMakeFiles/mux_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/mux_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/mux_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/mux_netlist.dir/verilog_io.cpp.o.d"
+  "libmux_netlist.a"
+  "libmux_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_sat.dir/cnf.cpp.o"
+  "CMakeFiles/mux_sat.dir/cnf.cpp.o.d"
+  "CMakeFiles/mux_sat.dir/solver.cpp.o"
+  "CMakeFiles/mux_sat.dir/solver.cpp.o.d"
+  "libmux_sat.a"
+  "libmux_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

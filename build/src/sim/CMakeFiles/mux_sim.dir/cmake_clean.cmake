@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mux_sim.dir/simulator.cpp.o.d"
+  "libmux_sim.a"
+  "libmux_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

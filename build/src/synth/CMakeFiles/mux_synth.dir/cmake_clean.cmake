@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_synth.dir/features.cpp.o"
+  "CMakeFiles/mux_synth.dir/features.cpp.o.d"
+  "CMakeFiles/mux_synth.dir/synthesis.cpp.o"
+  "CMakeFiles/mux_synth.dir/synthesis.cpp.o.d"
+  "libmux_synth.a"
+  "libmux_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

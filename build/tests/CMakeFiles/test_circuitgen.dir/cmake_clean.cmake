@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuitgen.dir/test_circuitgen.cpp.o"
+  "CMakeFiles/test_circuitgen.dir/test_circuitgen.cpp.o.d"
+  "test_circuitgen"
+  "test_circuitgen.pdb"
+  "test_circuitgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuitgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

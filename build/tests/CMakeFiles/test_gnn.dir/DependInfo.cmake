@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gnn.cpp" "tests/CMakeFiles/test_gnn.dir/test_gnn.cpp.o" "gcc" "tests/CMakeFiles/test_gnn.dir/test_gnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/mux_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuitgen/CMakeFiles/mux_circuitgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mux_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

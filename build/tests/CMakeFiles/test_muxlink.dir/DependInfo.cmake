@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_muxlink.cpp" "tests/CMakeFiles/test_muxlink.dir/test_muxlink.cpp.o" "gcc" "tests/CMakeFiles/test_muxlink.dir/test_muxlink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/muxlink/CMakeFiles/mux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuitgen/CMakeFiles/mux_circuitgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mux_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/mux_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/mux_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/mux_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/mux_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mux_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mux_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

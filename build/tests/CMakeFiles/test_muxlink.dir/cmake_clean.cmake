@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_muxlink.dir/test_muxlink.cpp.o"
+  "CMakeFiles/test_muxlink.dir/test_muxlink.cpp.o.d"
+  "test_muxlink"
+  "test_muxlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_muxlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

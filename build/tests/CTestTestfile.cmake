@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_circuitgen[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_locking[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_gnn[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_verilog[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+add_test(test_muxlink "/root/repo/build/tests/test_muxlink")
+set_tests_properties(test_muxlink PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_workflow "bash" "-c" "set -e; D=\$(mktemp -d); trap 'rm -rf \$D' EXIT;     CLI=/root/repo/build/tools/muxlink;     \$CLI gen c432 --out \$D/c.bench;     \$CLI stats \$D/c.bench | grep -q 'inputs=36';     \$CLI lock \$D/c.bench --scheme dmux --key-bits 16 --out \$D/l.bench --key-out \$D/k.txt;     \$CLI stats \$D/l.bench | grep -q 'key inputs: 16';     \$CLI saam \$D/l.bench | grep -q 'XXXXXXXXXXXXXXXX';     \$CLI hd \$D/c.bench \$D/l.bench --patterns 640 --key \$(cat \$D/k.txt) | grep -q 'HD = 0%';     \$CLI gen c432 --out \$D/c.v;     \$CLI stats \$D/c.v | grep -q 'inputs=36';     \$CLI lock \$D/bogus.bench 2>/dev/null && exit 1 || true")
+set_tests_properties(cli_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muxlink_cli.dir/muxlink_cli.cpp.o"
+  "CMakeFiles/muxlink_cli.dir/muxlink_cli.cpp.o.d"
+  "muxlink"
+  "muxlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muxlink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
