@@ -11,7 +11,7 @@ namespace {
 
 // out = D^-1 (A+I) H  with row-normalization over {i} ∪ N(i).
 void propagate(const std::vector<std::vector<int>>& nbr, const Matrix& h, Matrix& out) {
-  out = Matrix(h.rows, h.cols);
+  out.resize(h.rows, h.cols);
   for (int i = 0; i < h.rows; ++i) {
     double* oi = out.row(i);
     const double* hi = h.row(i);
@@ -28,7 +28,7 @@ void propagate(const std::vector<std::vector<int>>& nbr, const Matrix& h, Matrix
 // out = (D^-1 (A+I))^T G: column j gathers inv_deg(i) * G_i over i ∈ {j} ∪ N(j)
 // (adjacency is symmetric, so N is its own transpose).
 void propagate_transpose(const std::vector<std::vector<int>>& nbr, const Matrix& g, Matrix& out) {
-  out = Matrix(g.rows, g.cols);
+  out.resize(g.rows, g.cols);
   std::vector<double> inv(g.rows);
   for (int i = 0; i < g.rows; ++i) inv[i] = 1.0 / (1.0 + static_cast<double>(nbr[i].size()));
   for (int j = 0; j < g.rows; ++j) {
@@ -44,6 +44,8 @@ void propagate_transpose(const std::vector<std::vector<int>>& nbr, const Matrix&
 
 }  // namespace
 
+// Per-thread scratch: every tensor is resized (capacity-reusing) instead of
+// reallocated, so steady-state forward/backward is allocation-free.
 struct Dgcnn::Workspace {
   std::vector<Matrix> u;  // per conv layer: P * Z_{l-1}
   std::vector<Matrix> h;  // per conv layer: tanh output
@@ -57,6 +59,16 @@ struct Dgcnn::Workspace {
   std::vector<double> hid;  // dense_units (post-ReLU, post-dropout)
   std::vector<double> mask;  // dropout mask (scaled)
   double prob1 = 0.0;        // softmax P(label=1)
+
+  // Backward scratch.
+  std::vector<double> dhid;
+  std::vector<double> df;
+  Matrix dm;                 // pooled_len × ch1
+  Matrix dc1;                // k × ch1
+  Matrix ds;                 // k × cat_dim
+  std::vector<Matrix> dh;    // per conv layer: n × channels
+  Matrix du;
+  Matrix dz;
 };
 
 int choose_sortpool_k(std::vector<int> sizes, double fraction) {
@@ -104,21 +116,20 @@ Dgcnn::Dgcnn(int feature_dim, const DgcnnConfig& config)
   b6_ = add_param(1, 2, false);
 }
 
-double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace& ws) {
+double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
+                      std::mt19937_64* rng) const {
   if (g.x.cols != feature_dim_) throw std::invalid_argument("Dgcnn: feature dim mismatch");
   const int n = g.x.rows;
   const int L = static_cast<int>(cfg_.conv_channels.size());
 
   // Graph convolutions.
-  ws.u.assign(L, {});
-  ws.h.assign(L, {});
+  ws.u.resize(L);
+  ws.h.resize(L);
   const Matrix* z = &g.x;
   for (int l = 0; l < L; ++l) {
     propagate(g.nbr, *z, ws.u[l]);
-    Matrix v;
-    matmul(ws.u[l], params_[w_conv_[l]], v);
-    for (double& x : v.data) x = std::tanh(x);
-    ws.h[l] = std::move(v);
+    matmul(ws.u[l], params_[w_conv_[l]], ws.h[l]);
+    for (double& x : ws.h[l].data) x = std::tanh(x);
     z = &ws.h[l];
   }
 
@@ -136,7 +147,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace&
   order.resize(kept);
   ws.order = order;
 
-  ws.s = Matrix(k, cat_dim_);
+  ws.s.resize(k, cat_dim_);
   for (int t = 0; t < kept; ++t) {
     int off = 0;
     for (int l = 0; l < L; ++l) {
@@ -149,7 +160,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace&
   // 1-D conv #1: per-frame dense over the cat_dim-wide rows.
   const Matrix& kk1 = params_[k1_];
   const Matrix& bb1 = params_[b1_];
-  ws.c1 = Matrix(k, cfg_.conv1d_channels1);
+  ws.c1.resize(k, cfg_.conv1d_channels1);
   for (int t = 0; t < k; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
       double acc = bb1.at(0, c);
@@ -161,7 +172,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace&
   }
 
   // Max-pool (size 2, stride 2).
-  ws.m = Matrix(pooled_len_, cfg_.conv1d_channels1);
+  ws.m.resize(pooled_len_, cfg_.conv1d_channels1);
   ws.argmax.assign(static_cast<std::size_t>(pooled_len_) * cfg_.conv1d_channels1, 0);
   for (int t = 0; t < pooled_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
@@ -176,7 +187,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace&
   // 1-D conv #2 (kernel over frames).
   const Matrix& kk2 = params_[k2_];
   const Matrix& bb2 = params_[b2_];
-  ws.c2 = Matrix(conv2_len_, cfg_.conv1d_channels2);
+  ws.c2.resize(conv2_len_, cfg_.conv1d_channels2);
   for (int t = 0; t < conv2_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
       double acc = bb2.at(0, c);
@@ -202,8 +213,8 @@ double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace&
     const double* w = ww5.row(u);
     for (std::size_t j = 0; j < ws.f.size(); ++j) acc += w[j] * ws.f[j];
     acc = acc > 0.0 ? acc : 0.0;
-    if (training && cfg_.dropout > 0.0) {
-      if (unit(rng_) < cfg_.dropout) {
+    if (training && cfg_.dropout > 0.0 && rng != nullptr) {
+      if (unit(*rng) < cfg_.dropout) {
         ws.mask[u] = 0.0;
         acc = 0.0;
       } else {
@@ -228,27 +239,58 @@ double Dgcnn::forward(const GraphSample& g, bool training, bool keep, Workspace&
   const double e0 = std::exp(logits[0] - mx);
   const double e1 = std::exp(logits[1] - mx);
   ws.prob1 = e1 / (e0 + e1);
-  if (!keep) {
-    ws.u.clear();
-    ws.h.clear();
-  }
   return ws.prob1;
 }
 
+namespace {
+// One persistent workspace per thread: predict/accumulate from any number of
+// threads reuse their own scratch instead of reallocating per sample.
+Dgcnn::Workspace& thread_workspace() {
+  static thread_local Dgcnn::Workspace ws;
+  return ws;
+}
+}  // namespace
+
 double Dgcnn::predict(const GraphSample& g, bool training) {
-  Workspace ws;
-  return forward(g, training, /*keep=*/false, ws);
+  return forward(g, training, thread_workspace(), training ? &rng_ : nullptr);
 }
 
 double Dgcnn::accumulate_gradients(const GraphSample& g) {
-  Workspace ws;
-  const double p1 = forward(g, /*training=*/true, /*keep=*/true, ws);
-  backward(g, ws);
+  Workspace& ws = thread_workspace();
+  const double p1 = forward(g, /*training=*/true, ws, &rng_);
+  backward(g, ws, grads_);
   const double p_true = g.label == 1 ? p1 : 1.0 - p1;
   return -std::log(std::max(p_true, 1e-12));
 }
 
-void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
+double Dgcnn::accumulate_gradients(const GraphSample& g, std::vector<Matrix>& grads,
+                                   std::uint64_t dropout_seed) const {
+  Workspace& ws = thread_workspace();
+  std::mt19937_64 rng(dropout_seed);
+  const double p1 = forward(g, /*training=*/true, ws, &rng);
+  backward(g, ws, grads);
+  const double p_true = g.label == 1 ? p1 : 1.0 - p1;
+  return -std::log(std::max(p_true, 1e-12));
+}
+
+std::vector<Matrix> Dgcnn::make_gradient_buffers() const {
+  std::vector<Matrix> out;
+  out.reserve(params_.size());
+  for (const Matrix& p : params_) out.emplace_back(p.rows, p.cols);
+  return out;
+}
+
+void Dgcnn::add_gradients(const std::vector<Matrix>& grads) {
+  if (grads.size() != grads_.size()) throw std::invalid_argument("add_gradients: mismatch");
+  for (std::size_t p = 0; p < grads.size(); ++p) {
+    auto& dst = grads_[p].data;
+    const auto& src = grads[p].data;
+    if (src.size() != dst.size()) throw std::invalid_argument("add_gradients: shape mismatch");
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+  }
+}
+
+void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& grads) const {
   const int L = static_cast<int>(cfg_.conv_channels.size());
   const int k = cfg_.sortpool_k;
   const int kept = static_cast<int>(ws.order.size());
@@ -259,9 +301,10 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
   dlogits[1] = ws.prob1 - (g.label == 1 ? 1.0 : 0.0);
 
   // Dense 2.
-  Matrix& gw6 = grads_[w6_];
-  Matrix& gb6 = grads_[b6_];
-  std::vector<double> dhid(cfg_.dense_units, 0.0);
+  Matrix& gw6 = grads[w6_];
+  Matrix& gb6 = grads[b6_];
+  std::vector<double>& dhid = ws.dhid;
+  dhid.assign(cfg_.dense_units, 0.0);
   for (int c = 0; c < 2; ++c) {
     gb6.at(0, c) += dlogits[c];
     double* gw = gw6.row(c);
@@ -279,9 +322,10 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
   }
 
   // Dense 1.
-  Matrix& gw5 = grads_[w5_];
-  Matrix& gb5 = grads_[b5_];
-  std::vector<double> df(ws.f.size(), 0.0);
+  Matrix& gw5 = grads[w5_];
+  Matrix& gb5 = grads[b5_];
+  std::vector<double>& df = ws.df;
+  df.assign(ws.f.size(), 0.0);
   for (int u = 0; u < cfg_.dense_units; ++u) {
     if (dhid[u] == 0.0) continue;
     gb5.at(0, u) += dhid[u];
@@ -294,9 +338,10 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
   }
 
   // Conv2 (df is dC2 post-ReLU, flattened row-major).
-  Matrix dm(pooled_len_, cfg_.conv1d_channels1);
-  Matrix& gk2 = grads_[k2_];
-  Matrix& gb2 = grads_[b2_];
+  Matrix& dm = ws.dm;
+  dm.resize(pooled_len_, cfg_.conv1d_channels1);
+  Matrix& gk2 = grads[k2_];
+  Matrix& gb2 = grads[b2_];
   for (int t = 0; t < conv2_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
       const double out = ws.c2.at(t, c);
@@ -319,7 +364,8 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
   }
 
   // Max-pool: route to argmax frame.
-  Matrix dc1(k, cfg_.conv1d_channels1);
+  Matrix& dc1 = ws.dc1;
+  dc1.resize(k, cfg_.conv1d_channels1);
   for (int t = 0; t < pooled_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
       const double d = dm.at(t, c);
@@ -329,9 +375,10 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
   }
 
   // Conv1 (+ ReLU).
-  Matrix ds(k, cat_dim_);
-  Matrix& gk1 = grads_[k1_];
-  Matrix& gb1 = grads_[b1_];
+  Matrix& ds = ws.ds;
+  ds.resize(k, cat_dim_);
+  Matrix& gk1 = grads[k1_];
+  Matrix& gb1 = grads[b1_];
   for (int t = 0; t < k; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
       double d = dc1.at(t, c);
@@ -350,8 +397,9 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
 
   // SortPooling scatter: segment ds rows back onto dH_l of selected nodes.
   const int n = g.x.rows;
-  std::vector<Matrix> dh(L);
-  for (int l = 0; l < L; ++l) dh[l] = Matrix(n, cfg_.conv_channels[l]);
+  std::vector<Matrix>& dh = ws.dh;
+  dh.resize(L);
+  for (int l = 0; l < L; ++l) dh[l].resize(n, cfg_.conv_channels[l]);
   for (int t = 0; t < kept; ++t) {
     const int node = ws.order[t];
     int off = 0;
@@ -372,13 +420,11 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws) {
       const double* hr = ws.h[l].row(i);
       for (int c = 0; c < dhl.cols; ++c) dr[c] *= 1.0 - hr[c] * hr[c];
     }
-    matmul_at_b_accum(ws.u[l], dhl, grads_[w_conv_[l]]);
+    matmul_at_b_accum(ws.u[l], dhl, grads[w_conv_[l]]);
     if (l == 0) break;  // no gradient into the input features
-    Matrix du;
-    matmul_a_bt(dhl, params_[w_conv_[l]], du);
-    Matrix dz;
-    propagate_transpose(g.nbr, du, dz);
-    for (std::size_t i = 0; i < dz.data.size(); ++i) dh[l - 1].data[i] += dz.data[i];
+    matmul_a_bt(dhl, params_[w_conv_[l]], ws.du);
+    propagate_transpose(g.nbr, ws.du, ws.dz);
+    for (std::size_t i = 0; i < ws.dz.data.size(); ++i) dh[l - 1].data[i] += ws.dz.data[i];
   }
 }
 

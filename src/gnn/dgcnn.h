@@ -45,12 +45,28 @@ class Dgcnn {
   int feature_dim() const noexcept { return feature_dim_; }
 
   // Probability that the graph's link exists (class 1). `training` enables
-  // dropout (using the internal RNG).
+  // dropout (using the internal RNG). With `training == false` this mutates
+  // no model state and may be called concurrently from many threads.
   double predict(const GraphSample& g, bool training = false);
 
   // Forward + backward for one sample; accumulates parameter gradients and
   // returns the cross-entropy loss.
   double accumulate_gradients(const GraphSample& g);
+
+  // Thread-safe variant: gradients accumulate into `grads` (shaped by
+  // make_gradient_buffers) and dropout is driven entirely by `dropout_seed`,
+  // so the result depends only on (parameters, sample, seed) — never on
+  // which thread runs it or in what order. Model state is untouched.
+  double accumulate_gradients(const GraphSample& g, std::vector<Matrix>& grads,
+                              std::uint64_t dropout_seed) const;
+
+  // Zeroed parameter-shaped buffers for the external-gradient overload.
+  std::vector<Matrix> make_gradient_buffers() const;
+
+  // Adds `grads` (from make_gradient_buffers) into the internal accumulators
+  // consumed by adam_step. Callers reduce per-chunk buffers in a fixed chunk
+  // order to keep training bit-identical for any thread count.
+  void add_gradients(const std::vector<Matrix>& grads);
 
   // Adam step over the gradients accumulated since the last step, averaged
   // over `batch_size` samples; clears the accumulators.
@@ -68,10 +84,15 @@ class Dgcnn {
   // Number of trainable scalars (for reporting).
   std::size_t num_parameters() const;
 
- private:
+  // Opaque per-thread scratch (defined in dgcnn.cpp).
   struct Workspace;
-  double forward(const GraphSample& g, bool training, bool keep_for_backward, Workspace& ws);
-  void backward(const GraphSample& g, Workspace& ws);
+
+ private:
+  // `rng` drives dropout and must be non-null when training; const so the
+  // parallel paths can share one model during a batch (weights read-only).
+  double forward(const GraphSample& g, bool training, Workspace& ws,
+                 std::mt19937_64* rng) const;
+  void backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& grads) const;
 
   DgcnnConfig cfg_;
   int feature_dim_;

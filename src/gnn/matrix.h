@@ -32,6 +32,16 @@ struct Matrix {
 
   void zero() { std::fill(data.begin(), data.end(), 0.0); }
 
+  // Reshapes to r × c and zero-fills, reusing the existing allocation when
+  // capacity allows (vector::assign). The per-sample forward/backward path
+  // calls the matmul kernels thousands of times per epoch on same-shaped
+  // tensors; this keeps that path allocation-free after warm-up.
+  void resize(int r, int c) {
+    rows = r;
+    cols = c;
+    data.assign(static_cast<std::size_t>(r) * c, 0.0);
+  }
+
   // Glorot-uniform initialization.
   void glorot(std::mt19937_64& rng) {
     const double limit = std::sqrt(6.0 / (rows + cols));
@@ -43,7 +53,7 @@ struct Matrix {
 // out = a * b.
 inline void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols == b.rows);
-  out = Matrix(a.rows, b.cols);
+  out.resize(a.rows, b.cols);
   for (int i = 0; i < a.rows; ++i) {
     const double* ai = a.row(i);
     double* oi = out.row(i);
@@ -74,7 +84,7 @@ inline void matmul_at_b_accum(const Matrix& a, const Matrix& b, Matrix& out) {
 // out = a * b^T.
 inline void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols == b.cols);
-  out = Matrix(a.rows, b.rows);
+  out.resize(a.rows, b.rows);
   for (int i = 0; i < a.rows; ++i) {
     const double* ai = a.row(i);
     double* oi = out.row(i);

@@ -5,36 +5,86 @@
 #include <numeric>
 #include <random>
 
+#include "common/thread_pool.h"
+
 namespace muxlink::gnn {
+
+namespace {
+
+// Samples per gradient slot. Chunking is fixed (independent of the thread
+// count), so the slot a sample lands in — and therefore the floating-point
+// reduction order — is identical whether 1 or 64 threads run the batch.
+constexpr std::size_t kGradChunk = 4;
+// Samples per evaluation task (predictions are cheap; amortize dispatch).
+constexpr std::size_t kEvalChunk = 16;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 double evaluate_accuracy(Dgcnn& model, const std::vector<GraphSample>& samples) {
   if (samples.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (const GraphSample& s : samples) {
-    const double p = model.predict(s);
-    if ((p >= 0.5) == (s.label == 1)) ++correct;
+  std::vector<std::size_t> correct(common::num_chunks(samples.size(), kEvalChunk), 0);
+  common::parallel_for(samples.size(), kEvalChunk,
+                       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                         std::size_t c = 0;
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const GraphSample& s = samples[i];
+                           const double p = model.predict(s);
+                           if ((p >= 0.5) == (s.label == 1)) ++c;
+                         }
+                         correct[chunk] = c;
+                       });
+  const std::size_t total = std::accumulate(correct.begin(), correct.end(), std::size_t{0});
+  return static_cast<double>(total) / static_cast<double>(samples.size());
+}
+
+double auc_from_scores(const std::vector<double>& scores, const std::vector<int>& labels) {
+  std::size_t npos = 0;
+  for (int l : labels) npos += l == 1 ? 1 : 0;
+  const std::size_t nneg = labels.size() - npos;
+  if (npos == 0 || nneg == 0) return 0.5;
+
+  // Rank-sum (Mann-Whitney) formulation, O(n log n): sort by score, assign
+  // midranks to ties (this IS the tie correction — each tied pair
+  // contributes exactly 1/2), and sum the positive ranks.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // 1-based ranks i+1 .. j share the midrank.
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);
+    for (std::size_t t = i; t < j; ++t) {
+      if (labels[order[t]] == 1) rank_sum_pos += midrank;
+    }
+    i = j;
   }
-  return static_cast<double>(correct) / static_cast<double>(samples.size());
+  const double u = rank_sum_pos - 0.5 * static_cast<double>(npos) * static_cast<double>(npos + 1);
+  return u / (static_cast<double>(npos) * static_cast<double>(nneg));
 }
 
 double evaluate_auc(Dgcnn& model, const std::vector<GraphSample>& samples) {
-  // Mann-Whitney U statistic over prediction scores.
-  std::vector<double> pos, neg;
-  for (const GraphSample& s : samples) {
-    (s.label == 1 ? pos : neg).push_back(model.predict(s));
-  }
-  if (pos.empty() || neg.empty()) return 0.5;
-  double wins = 0.0;
-  for (double p : pos) {
-    for (double n : neg) {
-      if (p > n) {
-        wins += 1.0;
-      } else if (p == n) {
-        wins += 0.5;
-      }
-    }
-  }
-  return wins / (static_cast<double>(pos.size()) * static_cast<double>(neg.size()));
+  if (samples.empty()) return 0.5;
+  std::vector<double> scores(samples.size());
+  std::vector<int> labels(samples.size());
+  common::parallel_for(samples.size(), kEvalChunk,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           scores[i] = model.predict(samples[i]);
+                           labels[i] = samples[i].label;
+                         }
+                       });
+  return auc_from_scores(scores, labels);
 }
 
 TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& samples,
@@ -75,16 +125,45 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Per-slot gradient buffers: a batch is cut into fixed kGradChunk-sample
+  // slots; each slot accumulates its samples' gradients sequentially (in
+  // sample order) into its own buffer, and the buffers are reduced into the
+  // model in slot order. Both orders depend only on the batch layout, so
+  // training is bit-identical for any thread count.
+  const std::size_t batch = static_cast<std::size_t>(std::max(1, opts.batch_size));
+  const std::size_t max_slots = common::num_chunks(batch, kGradChunk);
+  std::vector<std::vector<Matrix>> slot_grads;
+  slot_grads.reserve(max_slots);
+  for (std::size_t s = 0; s < max_slots; ++s) slot_grads.push_back(model.make_gradient_buffers());
+  std::vector<double> slot_loss(max_slots, 0.0);
+
   for (int epoch = 1; epoch <= opts.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
+    // Dropout seeds derive from (seed, epoch, position-in-epoch) — never
+    // from a shared sequential RNG — so each sample's mask is the same no
+    // matter which thread evaluates it.
+    const std::uint64_t epoch_salt =
+        splitmix64(opts.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(epoch));
     double loss_sum = 0.0;
-    std::size_t in_batch = 0;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      loss_sum += model.accumulate_gradients(*train[order[i]]);
-      if (++in_batch == static_cast<std::size_t>(opts.batch_size) || i + 1 == order.size()) {
-        model.adam_step(in_batch);
-        in_batch = 0;
+    for (std::size_t batch_start = 0; batch_start < order.size(); batch_start += batch) {
+      const std::size_t bsz = std::min(batch, order.size() - batch_start);
+      const std::size_t slots = common::num_chunks(bsz, kGradChunk);
+      common::parallel_for(
+          bsz, kGradChunk, [&](std::size_t begin, std::size_t end, std::size_t slot) {
+            double loss = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::size_t pos = batch_start + i;
+              loss += model.accumulate_gradients(*train[order[pos]], slot_grads[slot],
+                                                 splitmix64(epoch_salt + pos));
+            }
+            slot_loss[slot] = loss;
+          });
+      for (std::size_t s = 0; s < slots; ++s) {
+        model.add_gradients(slot_grads[s]);
+        loss_sum += slot_loss[s];
+        for (Matrix& m : slot_grads[s]) m.zero();
       }
+      model.adam_step(bsz);
     }
     const double train_loss =
         train.empty() ? 0.0 : loss_sum / static_cast<double>(train.size());

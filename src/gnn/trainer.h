@@ -36,11 +36,16 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
                                  const TrainOptions& opts = {});
 
 // Validation/test accuracy of the current parameters: prediction >= 0.5
-// counts as class 1.
+// counts as class 1. Predictions run in parallel on the global thread pool.
 double evaluate_accuracy(Dgcnn& model, const std::vector<GraphSample>& samples);
 
 // ROC-AUC of the current parameters over `samples` (rank statistic; ties
 // count half). Returns 0.5 when one class is absent.
 double evaluate_auc(Dgcnn& model, const std::vector<GraphSample>& samples);
+
+// ROC-AUC from precomputed scores/labels via the O(n log n) rank-sum
+// (Mann-Whitney) formulation with midrank tie correction. Equal to the
+// pairwise statistic (ties count half); exposed for cross-checking.
+double auc_from_scores(const std::vector<double>& scores, const std::vector<int>& labels);
 
 }  // namespace muxlink::gnn

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace muxlink::graph {
 
 namespace {
@@ -164,6 +166,19 @@ Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
     sg.drnl[i] = 1 + std::min(a, b) + half * (half + (d % 2) - 1);
   }
   return sg;
+}
+
+std::vector<Subgraph> extract_enclosing_subgraphs(const CircuitGraph& graph,
+                                                  std::span<const Link> targets,
+                                                  const SubgraphOptions& opts) {
+  std::vector<Subgraph> out(targets.size());
+  common::parallel_for(targets.size(), 8,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           out[i] = extract_enclosing_subgraph(graph, targets[i], opts);
+                         }
+                       });
+  return out;
 }
 
 }  // namespace muxlink::graph

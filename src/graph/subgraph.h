@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/circuit_graph.h"
 
@@ -36,6 +37,13 @@ struct SubgraphOptions {
 // convention); nodes seeing only one target get label 0; targets get 1.
 Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
                                     const SubgraphOptions& opts = {});
+
+// Batch variant: extracts the enclosing subgraph of every target on the
+// global thread pool. Targets are independent and result[i] depends only on
+// targets[i], so the output is identical for any thread count.
+std::vector<Subgraph> extract_enclosing_subgraphs(const CircuitGraph& graph,
+                                                  std::span<const Link> targets,
+                                                  const SubgraphOptions& opts = {});
 
 // Upper bound (inclusive) on DRNL labels produced with `hops`; used to size
 // the one-hot label encoding without scanning a dataset twice.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "gnn/encoding.h"
 #include "graph/sampling.h"
 #include "graph/subgraph.h"
@@ -65,7 +66,9 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
   }
   result.target_links = targets.size();
 
-  // (3) Sample training links and extract enclosing subgraphs.
+  // (3) Sample training links and extract enclosing subgraphs. Each link's
+  // subgraph is independent; extraction + DRNL labeling + encoding run on
+  // the thread pool with results written by index (thread-count invariant).
   const auto t_sample = std::chrono::steady_clock::now();
   graph::SamplingOptions sopts;
   sopts.max_links = opts_.max_train_links;
@@ -76,19 +79,26 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
   graph::SubgraphOptions sgopts;
   sgopts.hops = opts_.hops;
   sgopts.max_nodes = opts_.max_subgraph_nodes;
-  std::vector<gnn::GraphSample> train_set;
-  train_set.reserve(link_samples.size());
-  std::vector<int> sizes;
-  sizes.reserve(link_samples.size());
-  for (const auto& ls : link_samples) {
-    const auto sg = graph::extract_enclosing_subgraph(g, ls.link, sgopts);
-    sizes.push_back(static_cast<int>(sg.num_nodes()));
-    train_set.push_back(gnn::encode_subgraph(sg, opts_.hops, ls.positive ? 1 : 0));
-  }
+  std::vector<gnn::GraphSample> train_set(link_samples.size());
+  std::vector<int> sizes(link_samples.size());
+  common::parallel_for(link_samples.size(), 8,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const auto& ls = link_samples[i];
+                           const auto sg = graph::extract_enclosing_subgraph(g, ls.link, sgopts);
+                           sizes[i] = static_cast<int>(sg.num_nodes());
+                           train_set[i] =
+                               gnn::encode_subgraph(sg, opts_.hops, ls.positive ? 1 : 0);
+                         }
+                       });
   result.training_links = train_set.size();
   result.sample_seconds = seconds_since(t_sample);
 
   // (4) Train the DGCNN (or an ensemble of independently seeded models).
+  // Models are constructed sequentially (deterministic init), then trained
+  // concurrently; each training run is itself deterministic, so the outer
+  // parallelism cannot change any result. With ensemble == 1 the outer loop
+  // is inline and the per-batch parallelism inside the trainer takes over.
   const auto t_train = std::chrono::steady_clock::now();
   const int feature_dim = gnn::feature_dim_for_hops(opts_.hops);
   const int sortpool_k =
@@ -103,34 +113,47 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
     cfg.dropout = opts_.dropout;
     cfg.seed = opts_.seed + static_cast<std::uint64_t>(e) * 7919;
     models.emplace_back(feature_dim, cfg);
-    gnn::TrainOptions topts;
-    topts.epochs = opts_.epochs;
-    topts.batch_size = opts_.batch_size;
-    topts.seed = cfg.seed;
-    const auto report = gnn::train_link_predictor(models.back(), train_set, topts);
-    if (e == 0) result.training = report;
   }
+  std::vector<gnn::TrainReport> reports(ensemble);
+  common::parallel_for(static_cast<std::size_t>(ensemble), 1,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t e = begin; e < end; ++e) {
+                           gnn::TrainOptions topts;
+                           topts.epochs = opts_.epochs;
+                           topts.batch_size = opts_.batch_size;
+                           topts.seed = models[e].config().seed;
+                           reports[e] = gnn::train_link_predictor(models[e], train_set, topts);
+                         }
+                       });
+  result.training = reports[0];
   result.sortpool_k = sortpool_k;
   result.feature_dim = feature_dim;
   result.train_seconds = seconds_since(t_train);
 
-  // (5) Score the target links (ensemble average).
+  // (5) Score the target links (ensemble average). Model weights are frozen
+  // here, so all threads share the models read-only.
   const auto t_score = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < likelihoods_.size(); ++i) {
-    const TracedMux& m = likelihoods_[i].mux;
-    const auto sga = graph::extract_enclosing_subgraph(g, target_link(g, m.input_a, m.sink), sgopts);
-    const auto sgb = graph::extract_enclosing_subgraph(g, target_link(g, m.input_b, m.sink), sgopts);
-    const auto ga = gnn::encode_subgraph(sga, opts_.hops, 0);
-    const auto gb = gnn::encode_subgraph(sgb, opts_.hops, 0);
-    double sum_a = 0.0, sum_b = 0.0;
-    for (auto& model : models) {
-      sum_a += model.predict(ga);
-      sum_b += model.predict(gb);
-    }
-    likelihoods_[i].score_a = sum_a / ensemble;
-    likelihoods_[i].score_b = sum_b / ensemble;
-  }
+  common::parallel_for(
+      likelihoods_.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const TracedMux& m = likelihoods_[i].mux;
+          const auto sga =
+              graph::extract_enclosing_subgraph(g, target_link(g, m.input_a, m.sink), sgopts);
+          const auto sgb =
+              graph::extract_enclosing_subgraph(g, target_link(g, m.input_b, m.sink), sgopts);
+          const auto ga = gnn::encode_subgraph(sga, opts_.hops, 0);
+          const auto gb = gnn::encode_subgraph(sgb, opts_.hops, 0);
+          double sum_a = 0.0, sum_b = 0.0;
+          for (auto& model : models) {
+            sum_a += model.predict(ga);
+            sum_b += model.predict(gb);
+          }
+          likelihoods_[i].score_a = sum_a / ensemble;
+          likelihoods_[i].score_b = sum_b / ensemble;
+        }
+      });
   result.score_seconds = seconds_since(t_score);
+  result.threads = static_cast<int>(common::num_threads());
 
   // (6) Post-processing.
   result.key = post_process(opts_.threshold);

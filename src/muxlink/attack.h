@@ -67,6 +67,7 @@ struct MuxLinkResult {
   double train_seconds = 0.0;
   double score_seconds = 0.0;
   double total_seconds = 0.0;
+  int threads = 1;  // pool size the run used (common::num_threads())
 };
 
 class MuxLinkAttack {

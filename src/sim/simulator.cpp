@@ -1,10 +1,13 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace muxlink::sim {
 
@@ -156,9 +159,10 @@ struct PairedRunner {
   }
 
   // Returns (differing bits, total bits) for one 64-pattern block, with only
-  // the lowest `valid_bits` patterns counted.
+  // the lowest `valid_bits` patterns counted. Const — safe to call from many
+  // threads at once (the Simulators allocate per-call state).
   std::pair<std::uint64_t, std::uint64_t> diff_block(std::span<const Word> a_inputs,
-                                                     int valid_bits) {
+                                                     int valid_bits) const {
     std::vector<Word> bin(b_source.size());
     for (std::size_t i = 0; i < b_source.size(); ++i) {
       bin[i] = b_source[i] >= 0 ? a_inputs[static_cast<std::size_t>(b_source[i])] : b_fixed[i];
@@ -176,30 +180,65 @@ struct PairedRunner {
   }
 };
 
+// Materializes the whole pattern stream up front (same blocks, in the same
+// seed order, as the old sequential loop) so blocks can be evaluated on the
+// thread pool. Diff counts are integers, so the reduction order cannot
+// change the result.
+std::vector<std::vector<Word>> generate_blocks(std::uint64_t seed, std::size_t num_patterns,
+                                               std::size_t num_inputs) {
+  PatternGenerator gen(seed);
+  std::vector<std::vector<Word>> blocks;
+  blocks.reserve((num_patterns + kWordBits - 1) / kWordBits);
+  for (std::size_t done = 0; done < num_patterns; done += kWordBits) {
+    blocks.push_back(gen.next_block(num_inputs));
+  }
+  return blocks;
+}
+
 }  // namespace
 
 double hamming_distance_percent(const Netlist& a, const Netlist& b, const HammingOptions& opts) {
-  PairedRunner runner(a, b, opts);
-  PatternGenerator gen(opts.seed);
+  const PairedRunner runner(a, b, opts);
+  const auto blocks = generate_blocks(opts.seed, opts.num_patterns, a.inputs().size());
+  const std::size_t nchunks = common::num_chunks(blocks.size(), 4);
+  std::vector<std::uint64_t> diffs(nchunks, 0), totals(nchunks, 0);
+  common::parallel_for(blocks.size(), 4,
+                       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                         std::uint64_t d_sum = 0, t_sum = 0;
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const std::size_t done = i * kWordBits;
+                           const int valid = static_cast<int>(
+                               std::min<std::size_t>(kWordBits, opts.num_patterns - done));
+                           const auto [d, t] = runner.diff_block(blocks[i], valid);
+                           d_sum += d;
+                           t_sum += t;
+                         }
+                         diffs[chunk] = d_sum;
+                         totals[chunk] = t_sum;
+                       });
   std::uint64_t diff = 0, total = 0;
-  for (std::size_t done = 0; done < opts.num_patterns; done += kWordBits) {
-    const int valid = static_cast<int>(std::min<std::size_t>(kWordBits, opts.num_patterns - done));
-    const auto block = gen.next_block(a.inputs().size());
-    const auto [d, t] = runner.diff_block(block, valid);
-    diff += d;
-    total += t;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    diff += diffs[c];
+    total += totals[c];
   }
   return total == 0 ? 0.0 : 100.0 * static_cast<double>(diff) / static_cast<double>(total);
 }
 
 bool functionally_equivalent(const Netlist& a, const Netlist& b, const HammingOptions& opts) {
-  PairedRunner runner(a, b, opts);
-  PatternGenerator gen(opts.seed);
-  for (std::size_t done = 0; done < opts.num_patterns; done += kWordBits) {
-    const auto block = gen.next_block(a.inputs().size());
-    if (runner.diff_block(block, kWordBits).first != 0) return false;
-  }
-  return true;
+  const PairedRunner runner(a, b, opts);
+  const auto blocks = generate_blocks(opts.seed, opts.num_patterns, a.inputs().size());
+  std::atomic<bool> mismatch{false};
+  common::parallel_for(blocks.size(), 4,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           if (mismatch.load(std::memory_order_relaxed)) return;
+                           if (runner.diff_block(blocks[i], kWordBits).first != 0) {
+                             mismatch.store(true, std::memory_order_relaxed);
+                             return;
+                           }
+                         }
+                       });
+  return !mismatch.load();
 }
 
 }  // namespace muxlink::sim

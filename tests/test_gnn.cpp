@@ -272,6 +272,56 @@ TEST_P(GradientCheck, MatchesFiniteDifferences) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GradientCheck, ::testing::Values(0, 1, 2, 3));
 
+// --- AUC ------------------------------------------------------------------------------
+
+// Pairwise O(|pos|·|neg|) Mann-Whitney reference (the formulation the
+// rank-sum implementation replaced).
+double auc_pairwise(const std::vector<double>& scores, const std::vector<int>& labels) {
+  std::vector<double> pos, neg;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    (labels[i] == 1 ? pos : neg).push_back(scores[i]);
+  }
+  if (pos.empty() || neg.empty()) return 0.5;
+  double wins = 0.0;
+  for (double p : pos) {
+    for (double n : neg) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(pos.size()) * static_cast<double>(neg.size()));
+}
+
+TEST(Auc, RankSumMatchesPairwiseOnRandomScores) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10 + rng() % 200;
+    std::vector<double> scores(n);
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Quantized scores on odd trials force heavy ties — the case the
+      // midrank tie correction must get exactly right.
+      const double s = unit(rng);
+      scores[i] = trial % 2 == 0 ? s : std::round(s * 8.0) / 8.0;
+      labels[i] = rng() % 2 == 0 ? 1 : 0;
+    }
+    EXPECT_NEAR(auc_from_scores(scores, labels), auc_pairwise(scores, labels), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(Auc, DegenerateClassesReturnHalf) {
+  EXPECT_DOUBLE_EQ(auc_from_scores({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(auc_from_scores({0.1, 0.9}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(auc_from_scores({0.1, 0.9}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(auc_from_scores({0.9, 0.1}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(auc_from_scores({0.5, 0.5}, {0, 1}), 0.5);
+}
+
 // --- training -----------------------------------------------------------------------
 
 TEST(Trainer, OverfitsTinyDatasetAndCheckpointsBest) {

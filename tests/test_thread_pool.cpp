@@ -1,0 +1,114 @@
+// Tests for the common thread pool: full index coverage, deterministic
+// chunking, exception propagation, nested parallel_for (no deadlock), and a
+// many-task stress loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace muxlink::common {
+namespace {
+
+TEST(ThreadPool, SetNumThreadsIsReflected) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1u);
+  set_num_threads(0);  // restore default
+  EXPECT_GE(num_threads(), 1u);
+}
+
+TEST(ThreadPool, NumChunksFormula) {
+  EXPECT_EQ(num_chunks(0, 4), 0u);
+  EXPECT_EQ(num_chunks(1, 4), 1u);
+  EXPECT_EQ(num_chunks(4, 4), 1u);
+  EXPECT_EQ(num_chunks(5, 4), 2u);
+  EXPECT_EQ(num_chunks(100, 7), 15u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_num_threads(threads);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    parallel_for(n, 7, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads << " threads";
+    }
+  }
+  set_num_threads(0);
+}
+
+TEST(ThreadPool, ChunkingIsIndependentOfThreadCount) {
+  // The (begin, end, chunk) triples must be a function of (n, chunk) only.
+  auto collect = [](std::size_t threads) {
+    set_num_threads(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(num_chunks(103, 10));
+    parallel_for(103, 10, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+      ranges[chunk] = {begin, end};
+    });
+    return ranges;
+  };
+  const auto one = collect(1);
+  const auto two = collect(2);
+  const auto eight = collect(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(one.front(), (std::pair<std::size_t, std::size_t>{0, 10}));
+  EXPECT_EQ(one.back(), (std::pair<std::size_t, std::size_t>{100, 103}));
+  set_num_threads(0);
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives) {
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(100, 1,
+                            [&](std::size_t begin, std::size_t, std::size_t) {
+                              if (begin == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must still be usable after a failed loop.
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, 1, [&](std::size_t begin, std::size_t, std::size_t) { sum += begin; });
+  EXPECT_EQ(sum.load(), 4950u);
+  set_num_threads(0);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  set_num_threads(4);
+  std::vector<std::uint64_t> outer_sums(8, 0);
+  parallel_for(8, 1, [&](std::size_t begin, std::size_t, std::size_t) {
+    std::vector<std::uint64_t> inner(100, 0);
+    parallel_for(100, 3, [&](std::size_t b, std::size_t e, std::size_t) {
+      for (std::size_t i = b; i < e; ++i) inner[i] = i;
+    });
+    outer_sums[begin] = std::accumulate(inner.begin(), inner.end(), std::uint64_t{0});
+  });
+  for (std::uint64_t s : outer_sums) EXPECT_EQ(s, 4950u);
+  set_num_threads(0);
+}
+
+TEST(ThreadPool, StressManyConsecutiveLoops) {
+  set_num_threads(8);
+  std::uint64_t expected = 0;
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 97);
+    expected += n;
+    parallel_for(n, 2, [&](std::size_t begin, std::size_t end, std::size_t) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), expected);
+  set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace muxlink::common

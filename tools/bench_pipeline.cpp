@@ -1,0 +1,82 @@
+// bench_pipeline — single-line-JSON perf tracker for the MuxLink pipeline.
+//
+// Locks one ISCAS-style circuit, runs the full attack once single-threaded
+// and once with N threads, and prints one JSON object with the per-stage
+// wall times and the end-to-end speedup. Registered in CMake but NOT in
+// ctest: it exists so successive PRs can track a perf trajectory, e.g.
+//
+//   ./build/tools/bench_pipeline --circuit c880 --threads 8 >> perf.jsonl
+//
+//   bench_pipeline [--circuit c880] [--key-bits 32] [--threads N]
+//                  [--epochs 20] [--links 2000] [--seed 1]
+#include <iostream>
+#include <thread>
+
+#include "circuitgen/suites.h"
+#include "common/thread_pool.h"
+#include "locking/mux_lock.h"
+#include "muxlink/attack.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace muxlink;
+
+core::MuxLinkResult run_attack(const netlist::Netlist& locked, const core::MuxLinkOptions& opts,
+                               std::size_t threads) {
+  common::set_num_threads(threads);
+  core::MuxLinkAttack attack(opts);
+  return attack.run(locked);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::CliArgs args(argc - 1, argv + 1);
+  try {
+    args.allow_only({"circuit", "key-bits", "threads", "epochs", "links", "seed"});
+    const std::string circuit = args.get_or("circuit", "c880");
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t threads = static_cast<std::size_t>(
+        args.get_long("threads", static_cast<long>(hw > 0 ? hw : 4)));
+
+    const auto nl = circuitgen::make_benchmark(circuit, 1.0);
+    locking::MuxLockOptions lopts;
+    lopts.key_bits = static_cast<std::size_t>(args.get_long("key-bits", 32));
+    lopts.seed = 1;
+    const auto locked = locking::lock_dmux(nl, lopts);
+
+    core::MuxLinkOptions opts;
+    opts.epochs = static_cast<int>(args.get_long("epochs", 20));
+    opts.learning_rate = 1e-3;
+    opts.max_train_links = static_cast<std::size_t>(args.get_long("links", 2000));
+    opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
+    const auto base = run_attack(locked.netlist, opts, 1);
+    const auto fast = run_attack(locked.netlist, opts, threads);
+
+    bool identical = base.key == fast.key;
+    for (std::size_t i = 0; identical && i < base.likelihoods.size(); ++i) {
+      identical = base.likelihoods[i].score_a == fast.likelihoods[i].score_a &&
+                  base.likelihoods[i].score_b == fast.likelihoods[i].score_b;
+    }
+
+    const double speedup =
+        fast.total_seconds > 0.0 ? base.total_seconds / fast.total_seconds : 0.0;
+    std::cout << "{\"circuit\":\"" << circuit << "\",\"key_bits\":" << lopts.key_bits
+              << ",\"training_links\":" << base.training_links << ",\"threads\":" << threads
+              << ",\"sample_seconds_1\":" << base.sample_seconds
+              << ",\"train_seconds_1\":" << base.train_seconds
+              << ",\"score_seconds_1\":" << base.score_seconds
+              << ",\"total_seconds_1\":" << base.total_seconds
+              << ",\"sample_seconds_n\":" << fast.sample_seconds
+              << ",\"train_seconds_n\":" << fast.train_seconds
+              << ",\"score_seconds_n\":" << fast.score_seconds
+              << ",\"total_seconds_n\":" << fast.total_seconds << ",\"speedup\":" << speedup
+              << ",\"bit_identical\":" << (identical ? "true" : "false") << "}\n";
+    return identical ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

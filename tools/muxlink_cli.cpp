@@ -18,6 +18,7 @@
 
 #include "attacks/constprop.h"
 #include "attacks/saam.h"
+#include "common/thread_pool.h"
 #include "circuitgen/suites.h"
 #include "locking/mux_lock.h"
 #include "locking/trll.h"
@@ -63,11 +64,14 @@ commands:
        [--seed S] [--out F] [--key-out F] [--allow-partial]
   attack <locked.bench> [--hops H] [--th T]    run the MuxLink attack
        [--epochs E] [--lr L] [--links N] [--seed S]
-       [--key-out F] [--recover F]
+       [--key-out F] [--recover F] [--threads N]
   saam <locked.bench>                          structural SAAM attack
   scope <locked.bench>                         unsupervised SCOPE attack
   hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
-       [--key BITSTRING]                       (key pins for b's keyinputs)
+       [--key BITSTRING] [--threads N]         (key pins for b's keyinputs)
+
+--threads N caps the worker pool (default: MUXLINK_THREADS env or all
+hardware threads). Results are bit-identical for any thread count.
 )";
   return 1;
 }
@@ -145,8 +149,12 @@ std::string render_key(const std::vector<locking::KeyBit>& key) {
 }
 
 int cmd_attack(const CliArgs& args) {
-  args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover"});
+  args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover",
+                   "threads"});
   if (args.positional().size() != 1) return usage();
+  if (const long t = args.get_long("threads", 0); t > 0) {
+    common::set_num_threads(static_cast<std::size_t>(t));
+  }
   const auto locked = read_design(args.positional()[0]);
   core::MuxLinkOptions opts;
   opts.hops = static_cast<int>(args.get_long("hops", 3));
@@ -160,6 +168,8 @@ int cmd_attack(const CliArgs& args) {
   std::cout << "deciphered key = " << render_key(result.key) << "\n";
   std::cout << "trained on " << result.training_links << " links (val acc "
             << result.training.best_val_accuracy << "), " << result.total_seconds << "s total\n";
+  std::cout << "stages: sample " << result.sample_seconds << "s, train " << result.train_seconds
+            << "s, score " << result.score_seconds << "s (" << result.threads << " threads)\n";
   if (const auto key_out = args.get("key-out")) write_text(*key_out, render_key(result.key) + "\n");
   if (const auto recover = args.get("recover")) {
     write_design(core::recover_design(locked, result.key), *recover);
@@ -178,8 +188,11 @@ int cmd_simple_attack(const CliArgs& args, bool saam) {
 }
 
 int cmd_hd(const CliArgs& args) {
-  args.allow_only({"patterns", "key"});
+  args.allow_only({"patterns", "key", "threads"});
   if (args.positional().size() != 2) return usage();
+  if (const long t = args.get_long("threads", 0); t > 0) {
+    common::set_num_threads(static_cast<std::size_t>(t));
+  }
   const auto a = read_design(args.positional()[0]);
   const auto b = read_design(args.positional()[1]);
   sim::HammingOptions opts;
