@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repo CI: tier-1 verify (Release build + full ctest) plus an
+# ASan+UBSan configuration of the full test suite.
+#
+#   ./ci.sh          # both stages
+#   ./ci.sh tier1    # Release build + ctest only
+#   ./ci.sh san      # sanitizer build + ctest only
+#
+# Build trees: build/ (Release, the same tree developers use) and
+# build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
+# the test suite runs here — kernel perf is tracked separately by
+# tools/bench_kernels and tools/bench_pipeline (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+stage="${1:-all}"
+jobs="$(nproc)"
+
+run_tier1() {
+  echo "== tier-1: Release build + ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+run_san() {
+  echo "== sanitizers: ASan+UBSan build + ctest =="
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs"
+  # detect_leaks needs ptrace; disabled automatically where unavailable.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ctest --test-dir build-san --output-on-failure -j "$jobs"
+}
+
+case "$stage" in
+  tier1) run_tier1 ;;
+  san)   run_san ;;
+  all)   run_tier1; run_san ;;
+  *) echo "usage: $0 [tier1|san|all]" >&2; exit 64 ;;
+esac
+echo "== ci.sh: $stage passed =="

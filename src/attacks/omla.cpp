@@ -30,8 +30,12 @@ struct OmlaAttack::Impl {
     const int n = static_cast<int>(sg.num_nodes());
     gnn::GraphSample g;
     g.label = label;
-    g.nbr.resize(n);
-    for (int i = 0; i < n; ++i) g.nbr[i].assign(sg.adj[i].begin(), sg.adj[i].end());
+    g.nbr_offsets.assign(sg.adj_offsets.begin(), sg.adj_offsets.end());
+    g.nbr.assign(sg.adj_neighbors.begin(), sg.adj_neighbors.end());
+    g.inv_deg.resize(n);
+    for (int i = 0; i < n; ++i) {
+      g.inv_deg[i] = 1.0 / (1.0 + static_cast<double>(sg.degree(i)));
+    }
     g.x = gnn::Matrix(n, feature_dim());
     for (int i = 0; i < n; ++i) {
       g.x.at(i, static_cast<int>(sg.type[i])) = 1.0;

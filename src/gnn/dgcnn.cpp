@@ -7,42 +7,42 @@
 
 namespace muxlink::gnn {
 
-namespace {
-
-// out = D^-1 (A+I) H  with row-normalization over {i} ∪ N(i).
-void propagate(const std::vector<std::vector<int>>& nbr, const Matrix& h, Matrix& out) {
-  out.resize(h.rows, h.cols);
+// out = D^-1 (A+I) H  with row-normalization over {i} ∪ N(i). Walks the
+// sample's CSR neighbor array front to back (one contiguous stream) and uses
+// the precomputed inverse degrees; neighbor order and per-row summation
+// order are unchanged, so results are bit-identical to the per-node-list
+// implementation this replaced.
+void propagate(const GraphSample& s, const Matrix& h, Matrix& out) {
+  out.resize_uninit(h.rows, h.cols);
   for (int i = 0; i < h.rows; ++i) {
     double* oi = out.row(i);
     const double* hi = h.row(i);
     for (int c = 0; c < h.cols; ++c) oi[c] = hi[c];
-    for (int j : nbr[i]) {
+    for (int j : s.neighbors(i)) {
       const double* hj = h.row(j);
       for (int c = 0; c < h.cols; ++c) oi[c] += hj[c];
     }
-    const double inv = 1.0 / (1.0 + static_cast<double>(nbr[i].size()));
+    const double inv = s.inv_deg[i];
     for (int c = 0; c < h.cols; ++c) oi[c] *= inv;
   }
 }
 
 // out = (D^-1 (A+I))^T G: column j gathers inv_deg(i) * G_i over i ∈ {j} ∪ N(j)
 // (adjacency is symmetric, so N is its own transpose).
-void propagate_transpose(const std::vector<std::vector<int>>& nbr, const Matrix& g, Matrix& out) {
-  out.resize(g.rows, g.cols);
-  std::vector<double> inv(g.rows);
-  for (int i = 0; i < g.rows; ++i) inv[i] = 1.0 / (1.0 + static_cast<double>(nbr[i].size()));
+void propagate_transpose(const GraphSample& s, const Matrix& g, Matrix& out) {
+  out.resize_uninit(g.rows, g.cols);
   for (int j = 0; j < g.rows; ++j) {
     double* oj = out.row(j);
     const double* gj = g.row(j);
-    for (int c = 0; c < g.cols; ++c) oj[c] = inv[j] * gj[c];
-    for (int i : nbr[j]) {
+    const double invj = s.inv_deg[j];
+    for (int c = 0; c < g.cols; ++c) oj[c] = invj * gj[c];
+    for (int i : s.neighbors(j)) {
       const double* gi = g.row(i);
-      for (int c = 0; c < g.cols; ++c) oj[c] += inv[i] * gi[c];
+      const double invi = s.inv_deg[i];
+      for (int c = 0; c < g.cols; ++c) oj[c] += invi * gi[c];
     }
   }
 }
-
-}  // namespace
 
 // Per-thread scratch: every tensor is resized (capacity-reusing) instead of
 // reallocated, so steady-state forward/backward is allocation-free.
@@ -119,6 +119,9 @@ Dgcnn::Dgcnn(int feature_dim, const DgcnnConfig& config)
 double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
                       std::mt19937_64* rng) const {
   if (g.x.cols != feature_dim_) throw std::invalid_argument("Dgcnn: feature dim mismatch");
+  if (g.num_nodes() != g.x.rows) {
+    throw std::invalid_argument("Dgcnn: adjacency / feature row mismatch");
+  }
   const int n = g.x.rows;
   const int L = static_cast<int>(cfg_.conv_channels.size());
 
@@ -127,7 +130,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
   ws.h.resize(L);
   const Matrix* z = &g.x;
   for (int l = 0; l < L; ++l) {
-    propagate(g.nbr, *z, ws.u[l]);
+    propagate(g, *z, ws.u[l]);
     matmul(ws.u[l], params_[w_conv_[l]], ws.h[l]);
     for (double& x : ws.h[l].data) x = std::tanh(x);
     z = &ws.h[l];
@@ -160,7 +163,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
   // 1-D conv #1: per-frame dense over the cat_dim-wide rows.
   const Matrix& kk1 = params_[k1_];
   const Matrix& bb1 = params_[b1_];
-  ws.c1.resize(k, cfg_.conv1d_channels1);
+  ws.c1.resize_uninit(k, cfg_.conv1d_channels1);  // every frame is written below
   for (int t = 0; t < k; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
       double acc = bb1.at(0, c);
@@ -172,7 +175,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
   }
 
   // Max-pool (size 2, stride 2).
-  ws.m.resize(pooled_len_, cfg_.conv1d_channels1);
+  ws.m.resize_uninit(pooled_len_, cfg_.conv1d_channels1);
   ws.argmax.assign(static_cast<std::size_t>(pooled_len_) * cfg_.conv1d_channels1, 0);
   for (int t = 0; t < pooled_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
@@ -187,7 +190,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
   // 1-D conv #2 (kernel over frames).
   const Matrix& kk2 = params_[k2_];
   const Matrix& bb2 = params_[b2_];
-  ws.c2.resize(conv2_len_, cfg_.conv1d_channels2);
+  ws.c2.resize_uninit(conv2_len_, cfg_.conv1d_channels2);
   for (int t = 0; t < conv2_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
       double acc = bb2.at(0, c);
@@ -423,7 +426,7 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
     matmul_at_b_accum(ws.u[l], dhl, grads[w_conv_[l]]);
     if (l == 0) break;  // no gradient into the input features
     matmul_a_bt(dhl, params_[w_conv_[l]], ws.du);
-    propagate_transpose(g.nbr, ws.du, ws.dz);
+    propagate_transpose(g, ws.du, ws.dz);
     for (std::size_t i = 0; i < ws.dz.data.size(); ++i) dh[l - 1].data[i] += ws.dz.data[i];
   }
 }

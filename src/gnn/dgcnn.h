@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "gnn/matrix.h"
@@ -18,12 +19,46 @@
 namespace muxlink::gnn {
 
 // One input graph: sparse structure + dense node features + binary label.
+// Adjacency is CSR (flat offsets + neighbor arrays, no self entries) so the
+// propagation kernels stream one contiguous array instead of chasing a heap
+// allocation per node; propagation uses (A+I) row-normalized, and the
+// normalization factors 1/(1+deg) are precomputed once per sample in
+// `inv_deg` instead of being recomputed on every propagate call.
 struct GraphSample {
-  // Neighbor lists (no self entries); propagation uses (A+I) row-normalized.
-  std::vector<std::vector<int>> nbr;
-  Matrix x;       // num_nodes × feature_dim
-  int label = 0;  // 1 = link exists
+  std::vector<int> nbr_offsets{0};  // size num_nodes()+1
+  std::vector<int> nbr;             // flattened neighbor lists
+  std::vector<double> inv_deg;      // 1.0 / (1 + degree) per node
+  Matrix x;                         // num_nodes × feature_dim
+  int label = 0;                    // 1 = link exists
+
+  int num_nodes() const noexcept { return static_cast<int>(nbr_offsets.size()) - 1; }
+  std::span<const int> neighbors(int i) const {
+    return {nbr.data() + nbr_offsets[i],
+            static_cast<std::size_t>(nbr_offsets[i + 1] - nbr_offsets[i])};
+  }
+
+  // Builds nbr_offsets/nbr/inv_deg from per-node neighbor lists (test and
+  // ad-hoc construction convenience; the hot path in gnn/encoding.cpp copies
+  // the Subgraph's CSR arrays directly).
+  void set_adjacency(const std::vector<std::vector<int>>& lists) {
+    nbr_offsets.assign(1, 0);
+    nbr.clear();
+    inv_deg.clear();
+    nbr_offsets.reserve(lists.size() + 1);
+    inv_deg.reserve(lists.size());
+    for (const auto& l : lists) {
+      nbr.insert(nbr.end(), l.begin(), l.end());
+      nbr_offsets.push_back(static_cast<int>(nbr.size()));
+      inv_deg.push_back(1.0 / (1.0 + static_cast<double>(l.size())));
+    }
+  }
 };
+
+// Graph-propagation kernels over the sample's CSR adjacency (exposed for
+// tools/bench_kernels and kernel tests; the model calls them internally).
+// propagate: out = D^-1 (A+I) h. propagate_transpose: out = (D^-1 (A+I))^T g.
+void propagate(const GraphSample& s, const Matrix& h, Matrix& out);
+void propagate_transpose(const GraphSample& s, const Matrix& g, Matrix& out);
 
 struct DgcnnConfig {
   std::vector<int> conv_channels{32, 32, 32, 1};

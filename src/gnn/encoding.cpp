@@ -11,9 +11,12 @@ GraphSample encode_subgraph(const graph::Subgraph& sg, int hops, int label) {
   const int label_dim = graph::max_drnl_label(hops) + 1;
   GraphSample g;
   g.label = label;
-  g.nbr.resize(n);
+  // Both sides are CSR; copy the flat arrays straight across.
+  g.nbr_offsets.assign(sg.adj_offsets.begin(), sg.adj_offsets.end());
+  g.nbr.assign(sg.adj_neighbors.begin(), sg.adj_neighbors.end());
+  g.inv_deg.resize(n);
   for (int i = 0; i < n; ++i) {
-    g.nbr[i].assign(sg.adj[i].begin(), sg.adj[i].end());
+    g.inv_deg[i] = 1.0 / (1.0 + static_cast<double>(sg.degree(i)));
   }
   g.x = Matrix(n, graph::kNumTypeFeatures + label_dim);
   for (int i = 0; i < n; ++i) {

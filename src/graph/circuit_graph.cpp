@@ -10,15 +10,15 @@ using netlist::GateType;
 using netlist::Netlist;
 
 bool CircuitGraph::has_edge(NodeId u, NodeId v) const {
-  const auto& nb = adj_.at(u);
+  const auto nb = neighbors(u);
   return std::binary_search(nb.begin(), nb.end(), v);
 }
 
 std::vector<Link> CircuitGraph::all_edges() const {
   std::vector<Link> edges;
   edges.reserve(num_edges_);
-  for (NodeId u = 0; u < adj_.size(); ++u) {
-    for (NodeId v : adj_[u]) {
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
       if (u < v) edges.push_back({u, v});
     }
   }
@@ -27,8 +27,8 @@ std::vector<Link> CircuitGraph::all_edges() const {
 
 NodeId CircuitGraph::add_node(GateId gate, GateType type, std::size_t total_gates) {
   if (node_of_.empty()) node_of_.assign(total_gates, kNoNode);
-  const NodeId n = static_cast<NodeId>(adj_.size());
-  adj_.emplace_back();
+  const NodeId n = static_cast<NodeId>(type_.size());
+  build_adj_.emplace_back();
   type_.push_back(type);
   gate_of_.push_back(gate);
   node_of_.at(gate) = static_cast<std::int32_t>(n);
@@ -37,18 +37,29 @@ NodeId CircuitGraph::add_node(GateId gate, GateType type, std::size_t total_gate
 
 void CircuitGraph::add_edge(NodeId u, NodeId v) {
   if (u == v) return;  // a gate feeding itself twice carries no information
-  adj_.at(u).push_back(v);
-  adj_.at(v).push_back(u);
+  build_adj_.at(u).push_back(v);
+  build_adj_.at(v).push_back(u);
 }
 
 void CircuitGraph::finalize() {
   num_edges_ = 0;
-  for (auto& nb : adj_) {
+  std::size_t total = 0;
+  for (auto& nb : build_adj_) {
     std::sort(nb.begin(), nb.end());
     nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
-    num_edges_ += nb.size();
+    total += nb.size();
   }
-  num_edges_ /= 2;
+  num_edges_ = total / 2;
+
+  offsets_.assign(build_adj_.size() + 1, 0);
+  neighbors_.clear();
+  neighbors_.reserve(total);
+  for (std::size_t n = 0; n < build_adj_.size(); ++n) {
+    neighbors_.insert(neighbors_.end(), build_adj_[n].begin(), build_adj_[n].end());
+    offsets_[n + 1] = static_cast<std::uint32_t>(neighbors_.size());
+  }
+  build_adj_.clear();
+  build_adj_.shrink_to_fit();
 }
 
 CircuitGraph build_circuit_graph(const Netlist& nl, std::span<const GateId> excluded) {

@@ -4,6 +4,12 @@
 // interested in capturing the composition of gates and their connectivity"),
 // and key MUXes are removed before graph construction — their data inputs
 // become the target links of the link-prediction task.
+//
+// Adjacency is stored in CSR form (a flat `offsets` array of size n+1 into a
+// flat `neighbors` array) so that the thousands of BFS traversals issued by
+// enclosing-subgraph extraction walk contiguous cache lines instead of
+// chasing one heap allocation per node. The builder accumulates edges into
+// temporary per-node lists; finalize() sorts, dedupes, and flattens them.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +31,14 @@ struct Link {
 
 class CircuitGraph {
  public:
-  std::size_t num_nodes() const noexcept { return adj_.size(); }
+  std::size_t num_nodes() const noexcept { return type_.size(); }
   std::size_t num_edges() const noexcept { return num_edges_; }
-  std::span<const NodeId> neighbors(NodeId n) const { return adj_.at(n); }
+  std::span<const NodeId> neighbors(NodeId n) const {
+    const std::size_t e = offsets_.at(n + 1);  // throws for out-of-range nodes
+    const std::size_t b = offsets_[n];
+    return {neighbors_.data() + b, e - b};
+  }
+  std::size_t degree(NodeId n) const { return offsets_.at(n + 1) - offsets_[n]; }
   bool has_edge(NodeId u, NodeId v) const;
   netlist::GateType node_type(NodeId n) const { return type_.at(n); }
   netlist::GateId gate_of(NodeId n) const { return gate_of_.at(n); }
@@ -40,10 +51,14 @@ class CircuitGraph {
   // Construction: include gates, then connect; used by the builder below.
   NodeId add_node(netlist::GateId gate, netlist::GateType type, std::size_t total_gates);
   void add_edge(NodeId u, NodeId v);
-  void finalize();  // sorts/dedupes adjacency, counts edges
+  void finalize();  // sorts/dedupes adjacency, flattens to CSR, counts edges
 
  private:
-  std::vector<std::vector<NodeId>> adj_;
+  // CSR adjacency, valid after finalize().
+  std::vector<std::uint32_t> offsets_;  // size num_nodes()+1
+  std::vector<NodeId> neighbors_;       // per-node slices sorted ascending
+  // Build-time scratch; cleared by finalize().
+  std::vector<std::vector<NodeId>> build_adj_;
   std::vector<netlist::GateType> type_;
   std::vector<netlist::GateId> gate_of_;
   std::vector<std::int32_t> node_of_;

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "graph/extraction_arena.h"
 
 namespace muxlink::graph {
 
@@ -14,90 +13,116 @@ namespace {
 
 constexpr int kInf = std::numeric_limits<int>::max();
 
-// Bounded BFS over the global graph. Returns distance map (kInf = farther
-// than `limit`).
-std::unordered_map<NodeId, int> bfs_global(const CircuitGraph& g, NodeId source, int limit) {
-  std::unordered_map<NodeId, int> dist;
-  dist.emplace(source, 0);
-  std::queue<NodeId> q;
-  q.push(source);
-  while (!q.empty()) {
-    const NodeId n = q.front();
-    q.pop();
-    const int d = dist[n];
-    if (d == limit) continue;
-    for (NodeId nb : g.neighbors(n)) {
-      if (dist.emplace(nb, d + 1).second) q.push(nb);
-    }
-  }
-  return dist;
+// One arena per worker thread; extraction results never depend on arena
+// history, so this is invisible to the determinism contract.
+ExtractionArena& thread_arena() {
+  static thread_local ExtractionArena arena;
+  return arena;
 }
 
-// BFS inside the local subgraph starting at `source`, skipping `blocked`.
-std::vector<int> bfs_local(const std::vector<std::vector<NodeId>>& adj, NodeId source,
-                           NodeId blocked) {
-  std::vector<int> dist(adj.size(), kInf);
-  if (source == blocked) return dist;
+// Bounded BFS over the global graph into the arena's stamped arrays.
+// `touched` receives every reached node (source first) in visit order.
+void bfs_global(const CircuitGraph& g, NodeId source, int limit,
+                std::vector<std::uint32_t>& stamp, std::vector<std::int32_t>& dist,
+                std::vector<NodeId>& touched, ExtractionArena& arena) {
+  std::size_t head = 0, tail = 0;
+  stamp[source] = arena.epoch;
   dist[source] = 0;
-  std::queue<NodeId> q;
-  q.push(source);
-  while (!q.empty()) {
-    const NodeId n = q.front();
-    q.pop();
-    for (NodeId nb : adj[n]) {
-      if (nb == blocked || dist[nb] != kInf) continue;
-      dist[nb] = dist[n] + 1;
-      q.push(nb);
+  arena.queue[tail++] = source;
+  touched.push_back(source);
+  while (head < tail) {
+    const NodeId n = arena.queue[head++];
+    const std::int32_t d = dist[n];
+    if (d == limit) continue;
+    for (NodeId nb : g.neighbors(n)) {
+      if (stamp[nb] == arena.epoch) continue;
+      stamp[nb] = arena.epoch;
+      dist[nb] = d + 1;
+      arena.queue[tail++] = nb;
+      touched.push_back(nb);
     }
   }
-  return dist;
+}
+
+// BFS inside the local CSR subgraph starting at `source`, skipping
+// `blocked`; distances land in `dist` (kInf = unreachable).
+void bfs_local(const Subgraph& sg, NodeId source, NodeId blocked, std::vector<int>& dist,
+               std::vector<NodeId>& queue) {
+  const std::size_t n = sg.num_nodes();
+  dist.assign(n, kInf);
+  if (source == blocked) return;
+  queue.resize(n);
+  std::size_t head = 0, tail = 0;
+  dist[source] = 0;
+  queue[tail++] = source;
+  while (head < tail) {
+    const NodeId m = queue[head++];
+    const int d = dist[m];
+    for (NodeId nb : sg.adj(m)) {
+      if (nb == blocked || dist[nb] != kInf) continue;
+      dist[nb] = d + 1;
+      queue[tail++] = nb;
+    }
+  }
+}
+
+// Builds the CSR adjacency of the subgraph induced over `sg.global` (already
+// populated), using the arena's stamped global->local remap.
+void induce_adjacency(const CircuitGraph& graph, Subgraph& sg, ExtractionArena& arena,
+                      bool remove_target_edge) {
+  const std::size_t n = sg.global.size();
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId g = sg.global[i];
+    arena.stamp_local[g] = arena.epoch;
+    arena.local_id[g] = i;
+  }
+  sg.adj_offsets.assign(n + 1, 0);
+  sg.adj_neighbors.clear();
+  for (NodeId i = 0; i < n; ++i) {
+    const std::size_t slice_begin = sg.adj_neighbors.size();
+    for (NodeId nb : graph.neighbors(sg.global[i])) {
+      if (arena.stamp_local[nb] != arena.epoch) continue;
+      const NodeId j = arena.local_id[nb];
+      if (remove_target_edge && ((i == 0 && j == 1) || (i == 1 && j == 0))) continue;
+      sg.adj_neighbors.push_back(j);
+    }
+    std::sort(sg.adj_neighbors.begin() + static_cast<std::ptrdiff_t>(slice_begin),
+              sg.adj_neighbors.end());
+    sg.adj_offsets[i + 1] = static_cast<std::uint32_t>(sg.adj_neighbors.size());
+  }
 }
 
 }  // namespace
-
-int max_drnl_label(int hops) {
-  // Within-subgraph distances are clamped to 2*hops per target (longer
-  // detours are labeled 0), so d = du + dv <= 4*hops.
-  const int dmax = 4 * hops;
-  const int half = dmax / 2;
-  return 1 + 2 * hops + half * (half + (dmax % 2) - 1);
-}
 
 Subgraph extract_node_subgraph(const CircuitGraph& graph, NodeId center,
                                const SubgraphOptions& opts) {
   if (center >= graph.num_nodes()) {
     throw std::invalid_argument("extract_node_subgraph: bad center node");
   }
-  const auto dist = bfs_global(graph, center, opts.hops);
-  std::vector<std::pair<int, NodeId>> order;
-  order.reserve(dist.size());
-  for (const auto& [n, d] : dist) {
-    if (n != center) order.emplace_back(d, n);
-  }
-  std::sort(order.begin(), order.end());
-  std::vector<NodeId> members{center};
-  std::size_t budget = order.size();
-  if (opts.max_nodes > 1 && order.size() + 1 > opts.max_nodes) budget = opts.max_nodes - 1;
-  for (std::size_t i = 0; i < budget; ++i) members.push_back(order[i].second);
+  ExtractionArena& arena = thread_arena();
+  arena.begin(graph.num_nodes());
+  bfs_global(graph, center, opts.hops, arena.stamp_u, arena.dist_u, arena.touched_u, arena);
 
-  std::unordered_map<NodeId, NodeId> local;
-  local.reserve(members.size());
-  for (NodeId i = 0; i < members.size(); ++i) local.emplace(members[i], i);
+  for (NodeId n : arena.touched_u) {
+    if (n != center) arena.rest.emplace_back(arena.dist_u[n], n);
+  }
+  std::sort(arena.rest.begin(), arena.rest.end());
+  std::size_t budget = arena.rest.size();
+  if (opts.max_nodes > 1 && arena.rest.size() + 1 > opts.max_nodes) budget = opts.max_nodes - 1;
 
   Subgraph sg;
-  sg.adj.resize(members.size());
-  sg.type.resize(members.size());
-  sg.drnl.assign(members.size(), 0);
-  sg.global = members;
-  for (NodeId i = 0; i < members.size(); ++i) {
-    sg.type[i] = graph.node_type(members[i]);
-    sg.drnl[i] = dist.at(members[i]);
-    for (NodeId nb : graph.neighbors(members[i])) {
-      const auto it = local.find(nb);
-      if (it != local.end()) sg.adj[i].push_back(it->second);
-    }
-    std::sort(sg.adj[i].begin(), sg.adj[i].end());
+  sg.global.reserve(budget + 1);
+  sg.global.push_back(center);
+  for (std::size_t i = 0; i < budget; ++i) sg.global.push_back(arena.rest[i].second);
+
+  const std::size_t n = sg.global.size();
+  sg.type.resize(n);
+  sg.drnl.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    sg.type[i] = graph.node_type(sg.global[i]);
+    sg.drnl[i] = arena.dist_u[sg.global[i]];
   }
+  induce_adjacency(graph, sg, arena, /*remove_target_edge=*/false);
   return sg;
 }
 
@@ -106,64 +131,49 @@ Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
   if (target.u >= graph.num_nodes() || target.v >= graph.num_nodes() || target.u == target.v) {
     throw std::invalid_argument("extract_enclosing_subgraph: bad target link");
   }
-  const auto du = bfs_global(graph, target.u, opts.hops);
-  const auto dv = bfs_global(graph, target.v, opts.hops);
+  ExtractionArena& arena = thread_arena();
+  arena.begin(graph.num_nodes());
+  bfs_global(graph, target.u, opts.hops, arena.stamp_u, arena.dist_u, arena.touched_u, arena);
+  bfs_global(graph, target.v, opts.hops, arena.stamp_v, arena.dist_v, arena.touched_v, arena);
 
-  // Membership: union of the two h-hop balls, targets first.
-  std::vector<NodeId> members{target.u, target.v};
-  {
-    std::vector<std::pair<int, NodeId>> rest;  // (closeness, node)
-    for (const auto& [n, d] : du) {
-      if (n != target.u && n != target.v) {
-        const auto it = dv.find(n);
-        rest.emplace_back(std::min(d, it == dv.end() ? kInf : it->second), n);
-      }
-    }
-    for (const auto& [n, d] : dv) {
-      if (n != target.u && n != target.v && !du.contains(n)) rest.emplace_back(d, n);
-    }
-    std::sort(rest.begin(), rest.end());
-    std::size_t budget = rest.size();
-    if (opts.max_nodes > 2 && rest.size() + 2 > opts.max_nodes) {
-      budget = opts.max_nodes - 2;
-    }
-    for (std::size_t i = 0; i < budget; ++i) members.push_back(rest[i].second);
+  // Membership: union of the two h-hop balls ordered by (closeness, node),
+  // targets first — identical ordering to the naive reference.
+  for (NodeId n : arena.touched_u) {
+    if (n == target.u || n == target.v) continue;
+    const int dv = arena.stamp_v[n] == arena.epoch ? arena.dist_v[n] : kInf;
+    arena.rest.emplace_back(std::min(static_cast<int>(arena.dist_u[n]), dv), n);
   }
-
-  std::unordered_map<NodeId, NodeId> local;
-  local.reserve(members.size());
-  for (NodeId i = 0; i < members.size(); ++i) local.emplace(members[i], i);
+  for (NodeId n : arena.touched_v) {
+    if (n == target.u || n == target.v || arena.stamp_u[n] == arena.epoch) continue;
+    arena.rest.emplace_back(arena.dist_v[n], n);
+  }
+  std::sort(arena.rest.begin(), arena.rest.end());
+  std::size_t budget = arena.rest.size();
+  if (opts.max_nodes > 2 && arena.rest.size() + 2 > opts.max_nodes) budget = opts.max_nodes - 2;
 
   Subgraph sg;
-  sg.adj.resize(members.size());
-  sg.type.resize(members.size());
-  sg.global = members;
-  for (NodeId i = 0; i < members.size(); ++i) {
-    sg.type[i] = graph.node_type(members[i]);
-    for (NodeId nb : graph.neighbors(members[i])) {
-      const auto it = local.find(nb);
-      if (it == local.end()) continue;
-      const NodeId j = it->second;
-      if (opts.remove_target_edge && ((i == 0 && j == 1) || (i == 1 && j == 0))) continue;
-      sg.adj[i].push_back(j);
-    }
-    std::sort(sg.adj[i].begin(), sg.adj[i].end());
-  }
+  sg.global.reserve(budget + 2);
+  sg.global.push_back(target.u);
+  sg.global.push_back(target.v);
+  for (std::size_t i = 0; i < budget; ++i) sg.global.push_back(arena.rest[i].second);
+
+  const std::size_t n = sg.global.size();
+  sg.type.resize(n);
+  for (NodeId i = 0; i < n; ++i) sg.type[i] = graph.node_type(sg.global[i]);
+  induce_adjacency(graph, sg, arena, opts.remove_target_edge);
 
   // DRNL (Eq. 3): du computed with v removed, dv with u removed.
-  const auto ldu = bfs_local(sg.adj, 0, 1);
-  const auto ldv = bfs_local(sg.adj, 1, 0);
+  bfs_local(sg, 0, 1, arena.ldist_u, arena.lqueue);
+  bfs_local(sg, 1, 0, arena.ldist_v, arena.lqueue);
   const int clamp = 2 * opts.hops;
-  sg.drnl.assign(members.size(), 0);
+  sg.drnl.assign(n, 0);
   sg.drnl[0] = 1;
   sg.drnl[1] = 1;
-  for (NodeId i = 2; i < members.size(); ++i) {
-    const int a = ldu[i];
-    const int b = ldv[i];
+  for (NodeId i = 2; i < n; ++i) {
+    const int a = arena.ldist_u[i];
+    const int b = arena.ldist_v[i];
     if (a == kInf || b == kInf || a > clamp || b > clamp) continue;  // label 0
-    const int d = a + b;
-    const int half = d / 2;
-    sg.drnl[i] = 1 + std::min(a, b) + half * (half + (d % 2) - 1);
+    sg.drnl[i] = drnl_label(a, b);
   }
   return sg;
 }

@@ -1,7 +1,15 @@
 // h-hop enclosing subgraph extraction and double-radius node labeling
 // (DRNL, Eq. 3 of the paper / SEAL [17]).
+//
+// Subgraphs store their local adjacency in CSR form (offsets + flat neighbor
+// array), matching CircuitGraph: the DGCNN propagation kernels and the local
+// DRNL BFS walk contiguous memory, and one extraction performs O(1)
+// allocations instead of one per local node. Extraction itself runs on a
+// reusable per-thread arena (see extraction_arena.h) and is allocation-free
+// after warm-up apart from the returned Subgraph.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 
@@ -10,13 +18,21 @@
 namespace muxlink::graph {
 
 struct Subgraph {
-  // Local adjacency (node 0 = target u, node 1 = target v).
-  std::vector<std::vector<NodeId>> adj;
-  std::vector<netlist::GateType> type;   // gate function per local node
-  std::vector<int> drnl;                 // DRNL label; targets = 1, unreachable = 0
-  std::vector<NodeId> global;            // local -> CircuitGraph node
+  // CSR local adjacency (node 0 = target u, node 1 = target v); each
+  // per-node slice is sorted ascending.
+  std::vector<std::uint32_t> adj_offsets;  // size num_nodes()+1 (empty graph: {0})
+  std::vector<NodeId> adj_neighbors;
+  std::vector<netlist::GateType> type;  // gate function per local node
+  std::vector<int> drnl;                // DRNL label; targets = 1, unreachable = 0
+  std::vector<NodeId> global;           // local -> CircuitGraph node
 
-  std::size_t num_nodes() const noexcept { return adj.size(); }
+  std::size_t num_nodes() const noexcept { return type.size(); }
+  std::span<const NodeId> adj(NodeId i) const {
+    const std::size_t e = adj_offsets.at(i + 1);
+    const std::size_t b = adj_offsets[i];
+    return {adj_neighbors.data() + b, e - b};
+  }
+  std::size_t degree(NodeId i) const { return adj_offsets.at(i + 1) - adj_offsets[i]; }
 };
 
 struct SubgraphOptions {
@@ -31,9 +47,24 @@ struct SubgraphOptions {
   bool remove_target_edge = true;
 };
 
+// DRNL hashing (Eq. 3): f = 1 + min(du,dv) + (d/2)[(d/2) + (d%2) - 1] with
+// d = du + dv. Shared by extraction and by max_drnl_label so the label
+// arithmetic exists in exactly one place. Monotone in (du, dv) for
+// non-negative inputs, hence the closed-form bound below.
+constexpr int drnl_label(int du, int dv) {
+  const int d = du + dv;
+  const int half = d / 2;
+  return 1 + std::min(du, dv) + half * (half + (d % 2) - 1);
+}
+
+// Upper bound (inclusive) on DRNL labels produced with `hops`; used to size
+// the one-hot label encoding without scanning a dataset twice. Within-
+// subgraph distances are clamped to 2*hops per target (longer detours are
+// labeled 0), so the maximum is attained at du = dv = 2*hops.
+constexpr int max_drnl_label(int hops) { return drnl_label(2 * hops, 2 * hops); }
+
 // Induces the subgraph over { j : d(j,u) <= h or d(j,v) <= h } and labels it
-// with DRNL: f(j) = 1 + min(du,dv) + (d/2)[(d/2) + (d%2) - 1], d = du + dv,
-// where du is computed with v removed and dv with u removed (SEAL
+// with DRNL, where du is computed with v removed and dv with u removed (SEAL
 // convention); nodes seeing only one target get label 0; targets get 1.
 Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
                                     const SubgraphOptions& opts = {});
@@ -44,10 +75,6 @@ Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
 std::vector<Subgraph> extract_enclosing_subgraphs(const CircuitGraph& graph,
                                                   std::span<const Link> targets,
                                                   const SubgraphOptions& opts = {});
-
-// Upper bound (inclusive) on DRNL labels produced with `hops`; used to size
-// the one-hot label encoding without scanning a dataset twice.
-int max_drnl_label(int hops);
 
 // Single-center variant (used by the OMLA-like key-gate classifier): the
 // h-hop ball around `center`. Node 0 is the center; `drnl` holds hop

@@ -108,7 +108,7 @@ TEST(Auc, PerfectAndInvertedRankings) {
   std::vector<gnn::GraphSample> one_class;
   gnn::GraphSample g;
   g.label = 1;
-  g.nbr = {{1}, {0}};
+  g.set_adjacency({{1}, {0}});
   g.x = gnn::Matrix(2, 12);
   g.x.at(0, 0) = 1.0;
   g.x.at(1, 1) = 1.0;

@@ -122,12 +122,13 @@ GraphSample tiny_sample(int label, std::uint64_t seed) {
   const int n = 6 + static_cast<int>(rng() % 5);
   GraphSample g;
   g.label = label;
-  g.nbr.resize(n);
+  std::vector<std::vector<int>> nbr(n);
   for (int i = 1; i < n; ++i) {
     const int j = static_cast<int>(rng() % i);
-    g.nbr[i].push_back(j);
-    g.nbr[j].push_back(i);
+    nbr[i].push_back(j);
+    nbr[j].push_back(i);
   }
+  g.set_adjacency(nbr);
   g.x = Matrix(n, 12);
   for (int i = 0; i < n; ++i) g.x.at(i, static_cast<int>(rng() % 12)) = 1.0;
   return g;
@@ -159,21 +160,19 @@ TEST(Dgcnn, ForwardIsDeterministicWithoutDropout) {
 TEST(Dgcnn, HandlesGraphsSmallerAndLargerThanK) {
   Dgcnn model(12, tiny_config());
   GraphSample small = tiny_sample(0, 5);
-  small.nbr.resize(3);
-  small.nbr[0] = {1};
-  small.nbr[1] = {0, 2};
-  small.nbr[2] = {1};
+  small.set_adjacency({{1}, {0, 2}, {1}});
   small.x = Matrix(3, 12);
   for (int i = 0; i < 3; ++i) small.x.at(i, i) = 1.0;
   EXPECT_NO_THROW(model.predict(small));
 
   GraphSample big = tiny_sample(1, 6);
   // Chain of 30 nodes > k = 6.
-  big.nbr.assign(30, {});
+  std::vector<std::vector<int>> chain(30);
   for (int i = 1; i < 30; ++i) {
-    big.nbr[i].push_back(i - 1);
-    big.nbr[i - 1].push_back(i);
+    chain[i].push_back(i - 1);
+    chain[i - 1].push_back(i);
   }
+  big.set_adjacency(chain);
   big.x = Matrix(30, 12);
   for (int i = 0; i < 30; ++i) big.x.at(i, i % 12) = 1.0;
   EXPECT_NO_THROW(model.predict(big));
@@ -333,22 +332,23 @@ TEST(Trainer, OverfitsTinyDatasetAndCheckpointsBest) {
     GraphSample g;
     const int n = 8;
     g.label = label;
-    g.nbr.assign(n, {});
+    std::vector<std::vector<int>> nbr(n);
     if (label == 1) {
       for (int u = 0; u < n; ++u) {
         for (int v = u + 1; v < n; ++v) {
           if ((u + v + i) % 2 == 0) {
-            g.nbr[u].push_back(v);
-            g.nbr[v].push_back(u);
+            nbr[u].push_back(v);
+            nbr[v].push_back(u);
           }
         }
       }
     } else {
       for (int u = 1; u < n; ++u) {
-        g.nbr[u].push_back(u - 1);
-        g.nbr[u - 1].push_back(u);
+        nbr[u].push_back(u - 1);
+        nbr[u - 1].push_back(u);
       }
     }
+    g.set_adjacency(nbr);
     g.x = Matrix(n, 12);
     for (int u = 0; u < n; ++u) g.x.at(u, static_cast<int>(rng() % 12)) = 1.0;
     data.push_back(std::move(g));

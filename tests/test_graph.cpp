@@ -144,11 +144,11 @@ TEST(Subgraph, TargetEdgeIsRemoved) {
   const auto n2 = static_cast<NodeId>(g.node_of(nl.find("g2")));
   const Subgraph sg = extract_enclosing_subgraph(g, {n1, n2});
   // Local nodes 0 and 1 must not be adjacent even though g1-g2 is a wire.
-  EXPECT_FALSE(std::binary_search(sg.adj[0].begin(), sg.adj[0].end(), NodeId{1}));
+  EXPECT_FALSE(std::binary_search(sg.adj(0).begin(), sg.adj(0).end(), NodeId{1}));
   SubgraphOptions keep;
   keep.remove_target_edge = false;
   const Subgraph sg2 = extract_enclosing_subgraph(g, {n1, n2}, keep);
-  EXPECT_TRUE(std::binary_search(sg2.adj[0].begin(), sg2.adj[0].end(), NodeId{1}));
+  EXPECT_TRUE(std::binary_search(sg2.adj(0).begin(), sg2.adj(0).end(), NodeId{1}));
 }
 
 TEST(Subgraph, DrnlTargetsGetLabelOne) {
@@ -286,8 +286,8 @@ TEST(Subgraph, LocalAdjacencyIsSymmetric) {
   const CircuitGraph g = build_circuit_graph(nl);
   const Subgraph sg = extract_enclosing_subgraph(g, g.all_edges()[3]);
   for (NodeId i = 0; i < sg.num_nodes(); ++i) {
-    for (NodeId j : sg.adj[i]) {
-      EXPECT_TRUE(std::binary_search(sg.adj[j].begin(), sg.adj[j].end(), i));
+    for (NodeId j : sg.adj(i)) {
+      EXPECT_TRUE(std::binary_search(sg.adj(j).begin(), sg.adj(j).end(), i));
     }
   }
 }

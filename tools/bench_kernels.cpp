@@ -1,0 +1,171 @@
+// bench_kernels — single-line-JSON microbenchmark for the inner kernels.
+//
+// bench_pipeline tracks the end-to-end attack; this tool isolates the three
+// kernel families underneath it so a layout or blocking regression is
+// visible without retraining anything:
+//
+//   * enclosing-subgraph extraction (arena fast path vs retained naive
+//     reference), reported as links/sec — the ISSUE-2 acceptance criterion
+//     is fast/naive >= 1.5x;
+//   * CSR propagate / propagate_transpose on a real encoded subgraph;
+//   * each matmul kernel (blocked vs naive) on the DGCNN's realistic
+//     shapes.
+//
+// Everything runs single-threaded on purpose: these are per-core kernel
+// numbers, orthogonal to the thread-pool scaling bench_pipeline measures.
+//
+//   bench_kernels [--circuit c880] [--hops 3] [--min-ms 300] [--rows 64]
+//
+// Appends nothing; prints one JSON object to stdout. Check the output in as
+// BENCH_kernels.json (see EXPERIMENTS.md for the refresh workflow).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <random>
+
+#include "circuitgen/suites.h"
+#include "common/thread_pool.h"
+#include "gnn/dgcnn.h"
+#include "gnn/encoding.h"
+#include "graph/circuit_graph.h"
+#include "graph/subgraph.h"
+#include "graph/subgraph_naive.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace muxlink;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Runs `fn` in doubling batches until it has consumed at least `min_seconds`
+// of wall clock, then returns seconds per call.
+template <typename Fn>
+double time_per_call(double min_seconds, Fn&& fn) {
+  std::size_t batch = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < batch; ++i) fn(i);
+    const double elapsed = seconds_since(t0);
+    if (elapsed >= min_seconds) return elapsed / static_cast<double>(batch);
+    batch = elapsed <= 0.0 ? batch * 8 : batch * 2;
+  }
+}
+
+gnn::Matrix random_matrix(int r, int c, std::mt19937_64& rng) {
+  gnn::Matrix m(r, c);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (double& x : m.data) x = u(rng);
+  return m;
+}
+
+struct KernelTimes {
+  double blocked_ns = 0.0;
+  double naive_ns = 0.0;
+  double speedup() const { return blocked_ns > 0.0 ? naive_ns / blocked_ns : 0.0; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tools::CliArgs args(argc - 1, argv + 1);
+  try {
+    args.allow_only({"circuit", "hops", "min-ms", "rows"});
+    const std::string circuit = args.get_or("circuit", "c880");
+    const int hops = static_cast<int>(args.get_long("hops", 3));
+    const double min_s = static_cast<double>(args.get_long("min-ms", 300)) / 1000.0;
+    const int rows = static_cast<int>(args.get_long("rows", 64));
+
+    common::set_num_threads(1);  // per-core kernel numbers
+
+    const auto nl = circuitgen::make_benchmark(circuit, 1.0);
+    const auto g = graph::build_circuit_graph(nl);
+    const auto edges = g.all_edges();
+    if (edges.empty()) throw std::runtime_error("bench_kernels: circuit has no edges");
+    graph::SubgraphOptions sgopts;
+    sgopts.hops = hops;
+
+    // --- extraction: arena fast path vs naive reference --------------------
+    // volatile sink defeats dead-code elimination without touching results.
+    volatile std::size_t sink = 0;
+    const double fast_s = time_per_call(min_s, [&](std::size_t i) {
+      sink = sink + graph::extract_enclosing_subgraph(g, edges[i % edges.size()], sgopts).num_nodes();
+    });
+    const double naive_s = time_per_call(min_s, [&](std::size_t i) {
+      sink = sink +
+             graph::extract_enclosing_subgraph_naive(g, edges[i % edges.size()], sgopts).num_nodes();
+    });
+    const double fast_lps = 1.0 / fast_s;
+    const double naive_lps = 1.0 / naive_s;
+
+    // --- propagate on a real encoded subgraph ------------------------------
+    const auto sample =
+        gnn::encode_subgraph(graph::extract_enclosing_subgraph(g, edges[edges.size() / 2], sgopts),
+                             hops, 1);
+    const int n = sample.x.rows;
+    std::mt19937_64 rng(1);
+    const gnn::Matrix h32 = random_matrix(n, 32, rng);
+    gnn::Matrix prop_out;
+    const double prop_s =
+        time_per_call(min_s, [&](std::size_t) { gnn::propagate(sample, h32, prop_out); });
+    gnn::Matrix propt_out;
+    const double propt_s = time_per_call(
+        min_s, [&](std::size_t) { gnn::propagate_transpose(sample, h32, propt_out); });
+
+    // --- matmul kernels on DGCNN shapes ------------------------------------
+    // Forward conv-1: (rows x feat) * (feat x 32); feat = encoding width.
+    const int feat = gnn::feature_dim_for_hops(hops);
+    const gnn::Matrix a_fwd = random_matrix(rows, feat, rng);
+    const gnn::Matrix w_fwd = random_matrix(feat, 32, rng);
+    gnn::Matrix out;
+    KernelTimes mm;
+    mm.blocked_ns =
+        1e9 * time_per_call(min_s, [&](std::size_t) { gnn::matmul(a_fwd, w_fwd, out); });
+    mm.naive_ns =
+        1e9 * time_per_call(min_s, [&](std::size_t) { gnn::matmul_naive(a_fwd, w_fwd, out); });
+
+    // Weight gradient: (rows x feat)^T * (rows x 32) accumulated into feat x 32.
+    const gnn::Matrix b_grad = random_matrix(rows, 32, rng);
+    gnn::Matrix acc(feat, 32);
+    KernelTimes atb;
+    atb.blocked_ns = 1e9 * time_per_call(
+                               min_s, [&](std::size_t) { gnn::matmul_at_b_accum(a_fwd, b_grad, acc); });
+    acc.zero();
+    atb.naive_ns = 1e9 * time_per_call(min_s, [&](std::size_t) {
+                     gnn::matmul_at_b_accum_naive(a_fwd, b_grad, acc);
+                   });
+
+    // Input gradient: (rows x 32) * (feat x 32)^T.
+    KernelTimes abt;
+    abt.blocked_ns =
+        1e9 * time_per_call(min_s, [&](std::size_t) { gnn::matmul_a_bt(b_grad, w_fwd, out); });
+    abt.naive_ns = 1e9 * time_per_call(
+                             min_s, [&](std::size_t) { gnn::matmul_a_bt_naive(b_grad, w_fwd, out); });
+
+    std::cout << "{\"circuit\":\"" << circuit << "\",\"hops\":" << hops
+              << ",\"edges\":" << edges.size() << ",\"subgraph_nodes\":" << n
+              << ",\"extract_links_per_sec\":" << fast_lps
+              << ",\"extract_naive_links_per_sec\":" << naive_lps
+              << ",\"extract_speedup\":" << (naive_lps > 0.0 ? fast_lps / naive_lps : 0.0)
+              << ",\"propagate_ns\":" << 1e9 * prop_s
+              << ",\"propagate_transpose_ns\":" << 1e9 * propt_s
+              << ",\"matmul_rows\":" << rows << ",\"matmul_feat\":" << feat
+              << ",\"matmul_blocked_ns\":" << mm.blocked_ns
+              << ",\"matmul_naive_ns\":" << mm.naive_ns << ",\"matmul_speedup\":" << mm.speedup()
+              << ",\"at_b_accum_blocked_ns\":" << atb.blocked_ns
+              << ",\"at_b_accum_naive_ns\":" << atb.naive_ns
+              << ",\"at_b_accum_speedup\":" << atb.speedup()
+              << ",\"a_bt_blocked_ns\":" << abt.blocked_ns
+              << ",\"a_bt_naive_ns\":" << abt.naive_ns << ",\"a_bt_speedup\":" << abt.speedup()
+              << "}\n";
+    // The 1.5x extraction criterion is enforced by exit status so CI can
+    // catch a regression without parsing JSON.
+    return fast_lps >= 1.5 * naive_lps ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
