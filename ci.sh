@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Repo CI: tier-1 verify (Release build + full ctest) plus an
-# ASan+UBSan configuration of the full test suite.
+# Repo CI: tier-1 verify (Release build + full ctest), an ASan+UBSan
+# configuration of the full test suite, and a docs/report gate that
+# exercises the observability pipeline end to end.
 #
-#   ./ci.sh          # both stages
+#   ./ci.sh          # all stages
 #   ./ci.sh tier1    # Release build + ctest only
 #   ./ci.sh san      # sanitizer build + ctest only
+#   ./ci.sh docs     # report pipeline + manifest validation + Markdown links
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -36,10 +38,56 @@ run_san() {
     ctest --test-dir build-san --output-on-failure -j "$jobs"
 }
 
+run_docs() {
+  echo "== docs: report pipeline + manifest validation + Markdown links =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target muxlink_cli report_md
+  local d cli
+  d="$(mktemp -d)"
+  cli=build/tools/muxlink
+
+  # End-to-end report: gen -> lock -> attack --report on a small circuit.
+  "$cli" gen c432 --out "$d/c432.bench" >/dev/null
+  "$cli" lock "$d/c432.bench" --scheme dmux --key-bits 16 --seed 1 \
+    --out "$d/locked.bench" --key-out "$d/key.txt" >/dev/null
+  "$cli" attack "$d/locked.bench" --epochs 3 --links 300 --seed 1 \
+    --truth-key "$d/key.txt" --orig "$d/c432.bench" --patterns 2000 \
+    --scheme dmux --telemetry "$d/epochs.jsonl" --report "$d/run.json"
+  for key in schema tool git_sha threads seed circuit stages results \
+             accuracy_percent hd_percent telemetry_path observability; do
+    grep -q "\"$key\"" "$d/run.json" \
+      || { echo "manifest missing key: $key" >&2; rm -rf "$d"; return 1; }
+  done
+  [ -s "$d/epochs.jsonl" ] || { echo "telemetry stream empty" >&2; rm -rf "$d"; return 1; }
+
+  # Validate the fresh manifest plus every committed one.
+  build/tools/report_md --check "$d/run.json" manifests/*.json \
+    BENCH_pipeline.json BENCH_kernels.json
+  # And make sure the renderer accepts them.
+  build/tools/report_md manifests/*.json >/dev/null
+  rm -rf "$d"
+
+  # Intra-repo Markdown links must resolve (external URLs are skipped).
+  local fail=0 f link target
+  for f in $(git ls-files '*.md'); do
+    for link in $(grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//'); do
+      target="${link%%#*}"
+      [ -z "$target" ] && continue
+      case "$target" in http://*|https://*|mailto:*) continue ;; esac
+      if [ ! -e "$(dirname "$f")/$target" ]; then
+        echo "broken link in $f: $link" >&2
+        fail=1
+      fi
+    done
+  done
+  [ "$fail" -eq 0 ]
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   san)   run_san ;;
-  all)   run_tier1; run_san ;;
-  *) echo "usage: $0 [tier1|san|all]" >&2; exit 64 ;;
+  docs)  run_docs ;;
+  all)   run_tier1; run_san; run_docs ;;
+  *) echo "usage: $0 [tier1|san|docs|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

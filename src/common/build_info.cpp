@@ -1,0 +1,19 @@
+#include "common/build_info.h"
+
+#ifndef MUXLINK_GIT_SHA
+#define MUXLINK_GIT_SHA "unknown"
+#endif
+#ifndef MUXLINK_BUILD_FLAGS
+#define MUXLINK_BUILD_FLAGS ""
+#endif
+#ifndef MUXLINK_BUILD_TYPE
+#define MUXLINK_BUILD_TYPE "unknown"
+#endif
+
+namespace muxlink::common {
+
+const char* build_git_sha() noexcept { return MUXLINK_GIT_SHA; }
+const char* build_flags() noexcept { return MUXLINK_BUILD_FLAGS; }
+const char* build_type() noexcept { return MUXLINK_BUILD_TYPE; }
+
+}  // namespace muxlink::common

@@ -1,0 +1,13 @@
+// Build provenance baked in at configure time (see src/common/CMakeLists.txt)
+// and stamped into every RunManifest. The git SHA is captured when CMake
+// configures, so it can lag uncommitted work — manifests record it as
+// provenance, not as a proof of purity.
+#pragma once
+
+namespace muxlink::common {
+
+const char* build_git_sha() noexcept;     // short SHA or "unknown"
+const char* build_flags() noexcept;       // compiler flags of this build type
+const char* build_type() noexcept;        // e.g. "Release"
+
+}  // namespace muxlink::common

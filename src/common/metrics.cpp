@@ -1,0 +1,447 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <time.h>
+#endif
+
+namespace muxlink::common {
+
+// ---------------------------------------------------------------------------
+// Kill switch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool env_metrics_enabled() {
+  const char* v = std::getenv("MUXLINK_METRICS");
+  if (!v) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_metrics_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
+
+void HistogramCell::record(double v) noexcept {
+  const std::uint64_t n = count.load(std::memory_order_relaxed);
+  count.store(n + 1, std::memory_order_relaxed);
+  sum.store(sum.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  if (n == 0 || v < min.load(std::memory_order_relaxed)) {
+    min.store(v, std::memory_order_relaxed);
+  }
+  if (n == 0 || v > max.load(std::memory_order_relaxed)) {
+    max.store(v, std::memory_order_relaxed);
+  }
+  // Log2 bucketing centered so bucket 24 holds [1, 2): frexp gives e = 1 for
+  // v in [1, 2), so bucket = e + 23, clamped into range. Non-positive values
+  // land in 0.
+  int bucket = 0;
+  if (v > 0.0) {
+    int e = 0;
+    std::frexp(v, &e);  // v = m * 2^e with m in [0.5, 1)
+    bucket = std::clamp(e + 23, 0, kHistogramBuckets - 1);
+  }
+  auto& b = buckets[bucket];
+  b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry internals
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-metric shard set: one cell per thread that touched the metric, in
+// registration order (deque => stable addresses, so call sites may cache
+// cell pointers forever).
+template <typename Cell>
+struct Sharded {
+  std::string name;
+  std::mutex mu;  // guards shard registration only
+  std::deque<Cell> shards;
+
+  Cell& new_shard() {
+    std::lock_guard<std::mutex> lock(mu);
+    return shards.emplace_back();
+  }
+};
+
+struct SpanTreeNode {
+  std::string name;
+  SpanTreeNode* parent = nullptr;
+  std::uint64_t count = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::vector<SpanTreeNode*> children;
+
+  SpanTreeNode* child(const char* child_name, std::deque<SpanTreeNode>& pool) {
+    for (SpanTreeNode* c : children) {
+      if (c->name == child_name) return c;
+    }
+    SpanTreeNode& c = pool.emplace_back();
+    c.name = child_name;
+    c.parent = this;
+    children.push_back(&c);
+    return &c;
+  }
+};
+
+// One per thread that ever opened a span; owned by the registry so the tree
+// survives pool resizes (workers die on set_num_threads) and merges stay
+// possible after thread exit.
+struct ThreadTrace {
+  std::deque<SpanTreeNode> pool;
+  SpanTreeNode root;
+  SpanTreeNode* current = &root;
+};
+
+struct RegistryState {
+  std::mutex mu;  // guards the maps and trace list (not the cells)
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+  std::map<std::string, Sharded<CounterCell>, std::less<>> counter_shards;
+  std::map<std::string, Sharded<GaugeCell>, std::less<>> gauge_shards;
+  std::map<std::string, Sharded<HistogramCell>, std::less<>> histogram_shards;
+  std::deque<ThreadTrace> traces;
+  std::atomic<std::uint64_t> gauge_epoch{0};
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState;  // leaked: outlives all threads
+  return *s;
+}
+
+ThreadTrace& thread_trace() {
+  static thread_local ThreadTrace* t = [] {
+    RegistryState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return &s.traces.emplace_back();
+  }();
+  return *t;
+}
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double thread_cpu_now() {
+#if defined(__linux__) || defined(__APPLE__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+#endif
+  return 0.0;
+}
+
+void merge_span(const SpanTreeNode& src, SpanNode& dst) {
+  dst.count += src.count;
+  dst.wall_seconds += src.wall_seconds;
+  dst.cpu_seconds += src.cpu_seconds;
+  dst.peak_rss_bytes = std::max(dst.peak_rss_bytes, src.peak_rss_bytes);
+  for (const SpanTreeNode* child : src.children) {
+    SpanNode* out = nullptr;
+    for (SpanNode& c : dst.children) {
+      if (c.name == child->name) {
+        out = &c;
+        break;
+      }
+    }
+    if (!out) {
+      dst.children.emplace_back();
+      out = &dst.children.back();
+      out->name = child->name;
+    }
+    merge_span(*child, *out);
+  }
+}
+
+void sort_span_children(SpanNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const SpanNode& a, const SpanNode& b) { return a.name < b.name; });
+  for (SpanNode& c : node.children) sort_span_children(c);
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__linux__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+CounterCell& Counter::cell() {
+  RegistryState& s = state();
+  Sharded<CounterCell>* sh;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    sh = &s.counter_shards[name_];
+    sh->name = name_;
+  }
+  return sh->new_shard();
+}
+
+GaugeCell& Gauge::cell() {
+  RegistryState& s = state();
+  Sharded<GaugeCell>* sh;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    sh = &s.gauge_shards[name_];
+    sh->name = name_;
+  }
+  return sh->new_shard();
+}
+
+void Gauge::set(double v) {
+  static thread_local std::map<const Gauge*, GaugeCell*> cells;
+  GaugeCell*& c = cells[this];
+  if (!c) c = &cell();
+  c->value.store(v, std::memory_order_relaxed);
+  c->epoch.store(1 + state().gauge_epoch.fetch_add(1, std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+HistogramCell& Histogram::cell() {
+  RegistryState& s = state();
+  Sharded<HistogramCell>* sh;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    sh = &s.histogram_shards[name_];
+    sh->name = name_;
+  }
+  return sh->new_shard();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    it = s.counters.emplace(std::string(name), Counter(std::string(name))).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    it = s.gauges.emplace(std::string(name), Gauge(std::string(name))).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    it = s.histograms.emplace(std::string(name), Histogram(std::string(name))).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::add(std::string_view counter_name, std::int64_t delta) {
+  if (!metrics_enabled()) return;
+  static thread_local std::map<std::string, CounterCell*, std::less<>> cells;
+  auto it = cells.find(counter_name);
+  if (it == cells.end()) {
+    it = cells.emplace(std::string(counter_name), &counter(counter_name).cell()).first;
+  }
+  it->second->add(delta);
+}
+
+void MetricsRegistry::set(std::string_view gauge_name, double value) {
+  if (!metrics_enabled()) return;
+  gauge(gauge_name).set(value);
+}
+
+void MetricsRegistry::record(std::string_view histogram_name, double value) {
+  if (!metrics_enabled()) return;
+  static thread_local std::map<std::string, HistogramCell*, std::less<>> cells;
+  auto it = cells.find(histogram_name);
+  if (it == cells.end()) {
+    it = cells.emplace(std::string(histogram_name), &histogram(histogram_name).cell())
+             .first;
+  }
+  it->second->record(value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  MetricsSnapshot snap;
+  for (auto& [name, sh] : s.counter_shards) {
+    std::lock_guard<std::mutex> shard_lock(sh.mu);
+    std::int64_t total = 0;
+    for (const CounterCell& c : sh.shards) total += c.value.load(std::memory_order_relaxed);
+    if (total != 0) snap.counters[name] = total;
+  }
+  for (auto& [name, sh] : s.gauge_shards) {
+    std::lock_guard<std::mutex> shard_lock(sh.mu);
+    double value = 0.0;
+    std::uint64_t newest = 0;
+    bool any = false;
+    for (const GaugeCell& c : sh.shards) {
+      const std::uint64_t e = c.epoch.load(std::memory_order_relaxed);
+      if (e >= newest && e > 0) {
+        newest = e;
+        value = c.value.load(std::memory_order_relaxed);
+        any = true;
+      }
+    }
+    if (any) snap.gauges[name] = value;
+  }
+  for (auto& [name, sh] : s.histogram_shards) {
+    std::lock_guard<std::mutex> shard_lock(sh.mu);
+    HistogramSnapshot h;
+    bool any = false;
+    for (const HistogramCell& c : sh.shards) {
+      const std::uint64_t n = c.count.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      const double cmin = c.min.load(std::memory_order_relaxed);
+      const double cmax = c.max.load(std::memory_order_relaxed);
+      if (!any || cmin < h.min) h.min = cmin;
+      if (!any || cmax > h.max) h.max = cmax;
+      any = true;
+      h.count += n;
+      h.sum += c.sum.load(std::memory_order_relaxed);
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] += c.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (any) snap.histograms[name] = h;
+  }
+  return snap;
+}
+
+SpanNode MetricsRegistry::trace_tree() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  SpanNode root;
+  for (const ThreadTrace& t : s.traces) merge_span(t.root, root);
+  sort_span_children(root);
+  return root;
+}
+
+void MetricsRegistry::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& [name, sh] : s.counter_shards) {
+    std::lock_guard<std::mutex> shard_lock(sh.mu);
+    for (CounterCell& c : sh.shards) c.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, sh] : s.gauge_shards) {
+    std::lock_guard<std::mutex> shard_lock(sh.mu);
+    for (GaugeCell& c : sh.shards) {
+      c.value.store(0.0, std::memory_order_relaxed);
+      c.epoch.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, sh] : s.histogram_shards) {
+    std::lock_guard<std::mutex> shard_lock(sh.mu);
+    for (HistogramCell& c : sh.shards) {
+      c.count.store(0, std::memory_order_relaxed);
+      c.sum.store(0.0, std::memory_order_relaxed);
+      c.min.store(0.0, std::memory_order_relaxed);
+      c.max.store(0.0, std::memory_order_relaxed);
+      for (auto& b : c.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (ThreadTrace& t : s.traces) {
+    // Zero the aggregates but keep the node structure: span destructors on
+    // other threads may still hold SpanTreeNode pointers.
+    for (SpanTreeNode& n : t.pool) {
+      n.count = 0;
+      n.wall_seconds = 0.0;
+      n.cpu_seconds = 0.0;
+      n.peak_rss_bytes = 0;
+    }
+    t.root.count = 0;
+    t.root.wall_seconds = 0.0;
+    t.root.cpu_seconds = 0.0;
+    t.root.peak_rss_bytes = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan::TraceSpan(const char* name) noexcept {
+  if (!metrics_enabled()) return;
+  ThreadTrace& t = thread_trace();
+  SpanTreeNode* node = t.current->child(name, t.pool);
+  t.current = node;
+  node_ = node;
+  wall0_ = wall_now();
+  cpu0_ = thread_cpu_now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!node_) return;
+  auto* node = static_cast<SpanTreeNode*>(node_);
+  node->count += 1;
+  node->wall_seconds += wall_now() - wall0_;
+  node->cpu_seconds += thread_cpu_now() - cpu0_;
+  ThreadTrace& t = thread_trace();
+  t.current = node->parent ? node->parent : &t.root;
+  // Peak-RSS sampling costs a syscall; only top-level exits pay it, so
+  // per-item spans inside hot loops stay at two clock reads each.
+  if (t.current == &t.root) {
+    node->peak_rss_bytes = std::max(node->peak_rss_bytes, peak_rss_bytes());
+  }
+}
+
+}  // namespace muxlink::common

@@ -1,0 +1,117 @@
+#include "common/run_manifest.h"
+
+#include "common/build_info.h"
+#include "common/thread_pool.h"
+
+namespace muxlink::common {
+
+Json span_to_json(const SpanNode& node) {
+  Json j = Json::object();
+  j["name"] = node.name;
+  j["count"] = static_cast<std::int64_t>(node.count);
+  j["wall_seconds"] = node.wall_seconds;
+  j["cpu_seconds"] = node.cpu_seconds;
+  if (node.peak_rss_bytes > 0) {
+    j["peak_rss_bytes"] = static_cast<std::int64_t>(node.peak_rss_bytes);
+  }
+  if (!node.children.empty()) {
+    Json children = Json::array();
+    for (const SpanNode& c : node.children) children.push_back(span_to_json(c));
+    j["children"] = std::move(children);
+  }
+  return j;
+}
+
+Json observability_to_json() {
+  if (!metrics_enabled()) return Json();
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const SpanNode tree = MetricsRegistry::instance().trace_tree();
+  if (snap.empty() && tree.children.empty()) return Json();
+
+  Json obs = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) counters[name] = value;
+  obs["counters"] = std::move(counters);
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snap.gauges) gauges[name] = value;
+  obs["gauges"] = std::move(gauges);
+  Json histograms = Json::object();
+  for (const auto& [name, h] : snap.histograms) {
+    Json hj = Json::object();
+    hj["count"] = static_cast<std::int64_t>(h.count);
+    hj["sum"] = h.sum;
+    hj["min"] = h.min;
+    hj["max"] = h.max;
+    hj["mean"] = h.mean();
+    histograms[name] = std::move(hj);
+  }
+  obs["histograms"] = std::move(histograms);
+  Json spans = Json::array();
+  for (const SpanNode& c : tree.children) spans.push_back(span_to_json(c));
+  obs["spans"] = std::move(spans);
+  return obs;
+}
+
+Json RunManifest::to_json() const {
+  Json j = Json::object();
+  j["schema"] = schema;
+  j["tool"] = tool;
+  j["git_sha"] = git_sha;
+  j["build_type"] = build_type;
+  j["build_flags"] = build_flags;
+  j["threads"] = threads;
+  j["seed"] = static_cast<std::int64_t>(seed);
+  j["circuit"] = circuit;
+  if (!scheme.empty()) j["scheme"] = scheme;
+  if (key_bits >= 0) j["key_bits"] = key_bits;
+  Json st = Json::object();
+  for (const auto& [name, seconds] : stages) st[name] = seconds;
+  j["stages"] = std::move(st);
+  Json res = Json::object();
+  for (const auto& [name, value] : results) res[name] = value;
+  j["results"] = std::move(res);
+  if (!telemetry_path.empty()) j["telemetry_path"] = telemetry_path;
+  if (!extra.is_null()) j["extra"] = extra;
+  if (!observability.is_null()) j["observability"] = observability;
+  return j;
+}
+
+RunManifest RunManifest::from_json(const Json& j) {
+  RunManifest m;
+  m.schema = j.string_or("schema", "");
+  m.tool = j.string_or("tool", "");
+  m.git_sha = j.string_or("git_sha", "");
+  m.build_type = j.string_or("build_type", "");
+  m.build_flags = j.string_or("build_flags", "");
+  m.threads = static_cast<int>(j.int_or("threads", 1));
+  m.seed = static_cast<std::uint64_t>(j.int_or("seed", 0));
+  m.circuit = j.string_or("circuit", "");
+  m.scheme = j.string_or("scheme", "");
+  m.key_bits = j.int_or("key_bits", -1);
+  if (const Json* st = j.find("stages"); st && st->is_object()) {
+    for (const auto& [name, v] : st->members()) {
+      if (v.is_number()) m.add_stage(name, v.as_double());
+    }
+  }
+  if (const Json* res = j.find("results"); res && res->is_object()) {
+    for (const auto& [name, v] : res->members()) {
+      if (v.is_number()) m.add_result(name, v.as_double());
+    }
+  }
+  m.telemetry_path = j.string_or("telemetry_path", "");
+  if (const Json* e = j.find("extra")) m.extra = *e;
+  if (const Json* o = j.find("observability")) m.observability = *o;
+  return m;
+}
+
+RunManifest make_run_manifest(std::string tool) {
+  RunManifest m;
+  m.tool = std::move(tool);
+  m.git_sha = build_git_sha();
+  m.build_type = build_type();
+  m.build_flags = build_flags();
+  m.threads = static_cast<int>(num_threads());
+  return m;
+}
+
+}  // namespace muxlink::common

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace muxlink::eval {
 
 core::MuxLinkOptions Protocol::attack_options(std::uint64_t seed) const {
@@ -58,6 +60,7 @@ Protocol load_protocol() {
 RunOutcome lock_and_attack(const netlist::Netlist& nl, const std::string& scheme,
                            std::size_t key_bits, const core::MuxLinkOptions& attack_opts,
                            std::uint64_t lock_seed) {
+  MUXLINK_TRACE("eval.lock_and_attack");
   locking::MuxLockOptions lo;
   lo.key_bits = key_bits;
   lo.seed = lock_seed;

@@ -1,10 +1,13 @@
 #include "gnn/trainer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <random>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace muxlink::gnn {
@@ -23,6 +26,30 @@ std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+// AUC over a pointer view (the trainer keeps the training split as
+// pointers); prediction runs on the thread pool like evaluate_auc.
+double evaluate_auc_ptrs(Dgcnn& model, const std::vector<const GraphSample*>& samples) {
+  if (samples.empty()) return 0.5;
+  std::vector<double> scores(samples.size());
+  std::vector<int> labels(samples.size());
+  common::parallel_for(samples.size(), kEvalChunk,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           scores[i] = model.predict(*samples[i]);
+                           labels[i] = samples[i]->label;
+                         }
+                       });
+  return auc_from_scores(scores, labels);
+}
+
+double grad_sumsq(const std::vector<Matrix>& grads) {
+  double s = 0.0;
+  for (const Matrix& m : grads) {
+    for (double g : m.data) s += g * g;
+  }
+  return s;
 }
 
 }  // namespace
@@ -89,6 +116,7 @@ double evaluate_auc(Dgcnn& model, const std::vector<GraphSample>& samples) {
 
 TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& samples,
                                  const TrainOptions& opts) {
+  MUXLINK_TRACE("gnn.train");
   TrainReport report;
   if (samples.empty()) return report;
   std::mt19937_64 rng(opts.seed);
@@ -137,7 +165,15 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
   for (std::size_t s = 0; s < max_slots; ++s) slot_grads.push_back(model.make_gradient_buffers());
   std::vector<double> slot_loss(max_slots, 0.0);
 
+  // Telemetry is purely observational: the extra reductions below (gradient
+  // norms, AUC passes) read model state but never write it, so a run with
+  // telemetry on trains the exact same model as one with it off.
+  const bool want_stats = opts.telemetry != nullptr || opts.on_epoch_stats != nullptr;
+  const bool want_auc = want_stats && opts.telemetry_auc;
+
   for (int epoch = 1; epoch <= opts.epochs; ++epoch) {
+    MUXLINK_TRACE("gnn.train.epoch");
+    const auto t_epoch = std::chrono::steady_clock::now();
     std::shuffle(order.begin(), order.end(), rng);
     // Dropout seeds derive from (seed, epoch, position-in-epoch) — never
     // from a shared sequential RNG — so each sample's mask is the same no
@@ -145,6 +181,8 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
     const std::uint64_t epoch_salt =
         splitmix64(opts.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(epoch));
     double loss_sum = 0.0;
+    double grad_norm_sum = 0.0;
+    std::size_t num_batches = 0;
     for (std::size_t batch_start = 0; batch_start < order.size(); batch_start += batch) {
       const std::size_t bsz = std::min(batch, order.size() - batch_start);
       const std::size_t slots = common::num_chunks(bsz, kGradChunk);
@@ -163,7 +201,9 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
         loss_sum += slot_loss[s];
         for (Matrix& m : slot_grads[s]) m.zero();
       }
+      if (want_stats) grad_norm_sum += std::sqrt(grad_sumsq(model.gradients()));
       model.adam_step(bsz);
+      ++num_batches;
     }
     const double train_loss =
         train.empty() ? 0.0 : loss_sum / static_cast<double>(train.size());
@@ -178,6 +218,40 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
       best = model.save_parameters();
     }
     report.final_train_loss = train_loss;
+    MUXLINK_COUNTER_ADD("gnn.train.epochs", 1);
+    MUXLINK_COUNTER_ADD("gnn.train.batches", static_cast<std::int64_t>(num_batches));
+    MUXLINK_COUNTER_ADD("gnn.train.samples", static_cast<std::int64_t>(train.size()));
+    if (want_stats) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.train_loss = train_loss;
+      stats.val_accuracy = val_acc;
+      stats.train_auc = want_auc ? evaluate_auc_ptrs(model, train)
+                                 : std::numeric_limits<double>::quiet_NaN();
+      stats.val_auc =
+          want_auc ? evaluate_auc(model, val) : std::numeric_limits<double>::quiet_NaN();
+      stats.learning_rate = model.config().learning_rate;
+      stats.grad_norm =
+          num_batches ? grad_norm_sum / static_cast<double>(num_batches) : 0.0;
+      stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t_epoch).count();
+      if (opts.telemetry) {
+        common::Json rec = common::Json::object();
+        if (!opts.telemetry_tag.empty()) rec["model"] = opts.telemetry_tag;
+        rec["epoch"] = stats.epoch;
+        rec["train_loss"] = stats.train_loss;
+        rec["val_accuracy"] = stats.val_accuracy;
+        if (want_auc) {
+          rec["train_auc"] = stats.train_auc;
+          rec["val_auc"] = stats.val_auc;
+        }
+        rec["learning_rate"] = stats.learning_rate;
+        rec["grad_norm"] = stats.grad_norm;
+        rec["wall_seconds"] = stats.wall_seconds;
+        opts.telemetry->write(rec);
+      }
+      if (opts.on_epoch_stats) opts.on_epoch_stats(stats);
+    }
     if (opts.on_epoch) opts.on_epoch(epoch, train_loss, val_acc);
   }
 

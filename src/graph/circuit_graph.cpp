@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace muxlink::graph {
 
 using netlist::GateId;
@@ -63,6 +65,7 @@ void CircuitGraph::finalize() {
 }
 
 CircuitGraph build_circuit_graph(const Netlist& nl, std::span<const GateId> excluded) {
+  MUXLINK_TRACE("graph.build");
   std::vector<bool> skip(nl.num_gates(), false);
   for (GateId g : excluded) skip.at(g) = true;
 
@@ -81,6 +84,8 @@ CircuitGraph build_circuit_graph(const Netlist& nl, std::span<const GateId> excl
     }
   }
   graph.finalize();
+  MUXLINK_GAUGE_SET("graph.nodes", static_cast<double>(graph.num_nodes()));
+  MUXLINK_GAUGE_SET("graph.edges", static_cast<double>(graph.num_edges()));
   return graph;
 }
 

@@ -5,10 +5,13 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace muxlink::graph {
 
 std::vector<LinkSample> sample_links(const CircuitGraph& graph, std::span<const Link> excluded,
                                      const SamplingOptions& opts) {
+  MUXLINK_TRACE("graph.sample_links");
   if (graph.num_nodes() < 4) {
     throw std::invalid_argument("sample_links: graph too small to sample from");
   }
@@ -55,6 +58,8 @@ std::vector<LinkSample> sample_links(const CircuitGraph& graph, std::span<const 
     samples.push_back({negatives[i], false});
   }
   std::shuffle(samples.begin(), samples.end(), rng);
+  MUXLINK_COUNTER_ADD("graph.links_sampled.positive", static_cast<std::int64_t>(n));
+  MUXLINK_COUNTER_ADD("graph.links_sampled.negative", static_cast<std::int64_t>(n));
   return samples;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "graph/extraction_arena.h"
 
@@ -175,6 +176,10 @@ Subgraph extract_enclosing_subgraph(const CircuitGraph& graph, Link target,
     if (a == kInf || b == kInf || a > clamp || b > clamp) continue;  // label 0
     sg.drnl[i] = drnl_label(a, b);
   }
+  // Per-call observability: one counter bump and one histogram record
+  // (~nanoseconds against a ~microsecond extraction; zero when disabled).
+  MUXLINK_COUNTER_ADD("graph.subgraphs_extracted", 1);
+  MUXLINK_HISTOGRAM_RECORD("graph.subgraph_nodes", static_cast<double>(n));
   return sg;
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/metrics.h"
 #include "netlist/analysis.h"
 
 namespace muxlink::locking {
@@ -288,6 +289,7 @@ void check_result(const LockedDesign& d, const MuxLockOptions& opts) {
 }  // namespace
 
 LockedDesign lock_dmux(const Netlist& original, const MuxLockOptions& opts) {
+  MUXLINK_TRACE("lock.dmux");
   MuxLocker lk(original, opts, "dmux");
   while (lk.design().key.size() < opts.key_bits) {
     const std::size_t remaining = opts.key_bits - lk.design().key.size();
@@ -296,6 +298,7 @@ LockedDesign lock_dmux(const Netlist& original, const MuxLockOptions& opts) {
   LockedDesign d = std::move(lk).take();
   check_result(d, opts);
   d.netlist.validate();
+  MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
 }
 
@@ -303,6 +306,7 @@ LockedDesign lock_symmetric(const Netlist& original, const MuxLockOptions& opts)
   if (opts.key_bits % 2 != 0) {
     throw std::invalid_argument("lock_symmetric: key_bits must be even");
   }
+  MUXLINK_TRACE("lock.symmetric");
   MuxLocker lk(original, opts, "symmetric");
   while (lk.design().key.size() < opts.key_bits) {
     if (lock_one_symmetric_locality(lk) == 0) break;
@@ -310,10 +314,12 @@ LockedDesign lock_symmetric(const Netlist& original, const MuxLockOptions& opts)
   LockedDesign d = std::move(lk).take();
   check_result(d, opts);
   d.netlist.validate();
+  MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
 }
 
 LockedDesign lock_naive_mux(const Netlist& original, const MuxLockOptions& opts) {
+  MUXLINK_TRACE("lock.naive_mux");
   MuxLocker lk(original, opts, "naive-mux");
   std::uniform_int_distribution<int> coin(0, 1);
   while (lk.design().key.size() < opts.key_bits) {
@@ -337,10 +343,12 @@ LockedDesign lock_naive_mux(const Netlist& original, const MuxLockOptions& opts)
   LockedDesign d = std::move(lk).take();
   check_result(d, opts);
   d.netlist.validate();
+  MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
 }
 
 LockedDesign lock_xor(const Netlist& original, const MuxLockOptions& opts) {
+  MUXLINK_TRACE("lock.xor");
   MuxLocker lk(original, opts, "xor");
   while (lk.design().key.size() < opts.key_bits) {
     bool inserted = false;
@@ -370,6 +378,7 @@ LockedDesign lock_xor(const Netlist& original, const MuxLockOptions& opts) {
   LockedDesign d = std::move(lk).take();
   check_result(d, opts);
   d.netlist.validate();
+  MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
 }
 

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "gnn/encoding.h"
 #include "graph/sampling.h"
@@ -37,21 +40,30 @@ graph::Link target_link(const graph::CircuitGraph& g, GateId driver, GateId sink
 }  // namespace
 
 MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
+  MUXLINK_TRACE("attack");
+  MUXLINK_COUNTER_ADD("attack.runs", 1);
   const auto t_total = std::chrono::steady_clock::now();
   MuxLinkResult result;
 
   // (1) Trace key gates.
   const auto keys = attacks::find_key_inputs(locked);
-  const auto muxes = attacks::trace_key_muxes(locked);
+  const auto muxes = [&] {
+    MUXLINK_TRACE("attack.key_trace");
+    return attacks::trace_key_muxes(locked);
+  }();
   if (muxes.empty()) throw netlist::NetlistError("MuxLink: no key-controlled MUXes found");
   localities_ = attacks::group_localities(locked, muxes);
   key_bits_ = keys.size();
+  MUXLINK_COUNTER_ADD("attack.key_muxes", static_cast<std::int64_t>(muxes.size()));
 
   // (2) Build the gate graph with the key MUXes removed.
   std::vector<GateId> excluded;
   excluded.reserve(muxes.size());
   for (const TracedMux& m : muxes) excluded.push_back(m.mux);
-  const graph::CircuitGraph g = graph::build_circuit_graph(locked, excluded);
+  const graph::CircuitGraph g = [&] {
+    MUXLINK_TRACE("attack.graph_build");
+    return graph::build_circuit_graph(locked, excluded);
+  }();
 
   // Target links (set S): both candidate wires of every MUX.
   std::vector<graph::Link> targets;
@@ -81,18 +93,22 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
   sgopts.max_nodes = opts_.max_subgraph_nodes;
   std::vector<gnn::GraphSample> train_set(link_samples.size());
   std::vector<int> sizes(link_samples.size());
-  common::parallel_for(link_samples.size(), 8,
-                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           const auto& ls = link_samples[i];
-                           const auto sg = graph::extract_enclosing_subgraph(g, ls.link, sgopts);
-                           sizes[i] = static_cast<int>(sg.num_nodes());
-                           train_set[i] =
-                               gnn::encode_subgraph(sg, opts_.hops, ls.positive ? 1 : 0);
-                         }
-                       });
+  {
+    MUXLINK_TRACE("attack.sample");
+    common::parallel_for(link_samples.size(), 8,
+                         [&](std::size_t begin, std::size_t end, std::size_t) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             const auto& ls = link_samples[i];
+                             const auto sg = graph::extract_enclosing_subgraph(g, ls.link, sgopts);
+                             sizes[i] = static_cast<int>(sg.num_nodes());
+                             train_set[i] =
+                                 gnn::encode_subgraph(sg, opts_.hops, ls.positive ? 1 : 0);
+                           }
+                         });
+  }
   result.training_links = train_set.size();
   result.sample_seconds = seconds_since(t_sample);
+  MUXLINK_COUNTER_ADD("attack.training_links", static_cast<std::int64_t>(train_set.size()));
 
   // (4) Train the DGCNN (or an ensemble of independently seeded models).
   // Models are constructed sequentially (deterministic init), then trained
@@ -114,25 +130,39 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
     cfg.seed = opts_.seed + static_cast<std::uint64_t>(e) * 7919;
     models.emplace_back(feature_dim, cfg);
   }
+  std::unique_ptr<common::JsonlWriter> telemetry;
+  if (!opts_.telemetry_path.empty()) {
+    telemetry = std::make_unique<common::JsonlWriter>(opts_.telemetry_path);
+  }
   std::vector<gnn::TrainReport> reports(ensemble);
-  common::parallel_for(static_cast<std::size_t>(ensemble), 1,
-                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                         for (std::size_t e = begin; e < end; ++e) {
-                           gnn::TrainOptions topts;
-                           topts.epochs = opts_.epochs;
-                           topts.batch_size = opts_.batch_size;
-                           topts.seed = models[e].config().seed;
-                           reports[e] = gnn::train_link_predictor(models[e], train_set, topts);
-                         }
-                       });
+  {
+    MUXLINK_TRACE("attack.train");
+    common::parallel_for(static_cast<std::size_t>(ensemble), 1,
+                         [&](std::size_t begin, std::size_t end, std::size_t) {
+                           for (std::size_t e = begin; e < end; ++e) {
+                             gnn::TrainOptions topts;
+                             topts.epochs = opts_.epochs;
+                             topts.batch_size = opts_.batch_size;
+                             topts.seed = models[e].config().seed;
+                             topts.telemetry = telemetry.get();
+                             topts.telemetry_tag =
+                                 ensemble > 1 ? "model" + std::to_string(e) : "model";
+                             reports[e] = gnn::train_link_predictor(models[e], train_set, topts);
+                           }
+                         });
+  }
   result.training = reports[0];
   result.sortpool_k = sortpool_k;
   result.feature_dim = feature_dim;
   result.train_seconds = seconds_since(t_train);
+  MUXLINK_GAUGE_SET("attack.sortpool_k", sortpool_k);
+  MUXLINK_GAUGE_SET("attack.feature_dim", feature_dim);
 
   // (5) Score the target links (ensemble average). Model weights are frozen
   // here, so all threads share the models read-only.
   const auto t_score = std::chrono::steady_clock::now();
+  {
+  MUXLINK_TRACE("attack.score");
   common::parallel_for(
       likelihoods_.size(), 1, [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t i = begin; i < end; ++i) {
@@ -152,14 +182,23 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
           likelihoods_[i].score_b = sum_b / ensemble;
         }
       });
+  }
   result.score_seconds = seconds_since(t_score);
   result.threads = static_cast<int>(common::num_threads());
 
   // (6) Post-processing.
-  result.key = post_process(opts_.threshold);
+  {
+    MUXLINK_TRACE("attack.post_process");
+    result.key = post_process(opts_.threshold);
+  }
   result.likelihoods = likelihoods_;
   result.localities = localities_;
   result.total_seconds = seconds_since(t_total);
+  MUXLINK_COUNTER_ADD("attack.target_links", static_cast<std::int64_t>(result.target_links));
+  for (const locking::KeyBit b : result.key) {
+    if (b == locking::KeyBit::kUnknown) MUXLINK_COUNTER_ADD("attack.key_bits_undecided", 1);
+    else MUXLINK_COUNTER_ADD("attack.key_bits_decided", 1);
+  }
   return result;
 }
 

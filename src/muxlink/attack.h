@@ -44,6 +44,12 @@ struct MuxLinkOptions {
   // models and average the target-link likelihoods. Multiplies training
   // time; reduces the variance of the δ comparisons on small circuits.
   int ensemble = 1;
+
+  // When non-empty, per-epoch training telemetry (loss, train/val AUC,
+  // learning rate, gradient norm) is appended to this JSONL file — one
+  // record per epoch per ensemble member (DESIGN.md §7). Observational
+  // only: the trained models and the key are identical with or without it.
+  std::string telemetry_path;
 };
 
 // Likelihood bookkeeping for one traced key MUX: the two candidate links

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace muxlink::sim {
@@ -198,6 +199,8 @@ std::vector<std::vector<Word>> generate_blocks(std::uint64_t seed, std::size_t n
 }  // namespace
 
 double hamming_distance_percent(const Netlist& a, const Netlist& b, const HammingOptions& opts) {
+  MUXLINK_TRACE("sim.hamming");
+  MUXLINK_COUNTER_ADD("sim.patterns", static_cast<std::int64_t>(opts.num_patterns));
   const PairedRunner runner(a, b, opts);
   const auto blocks = generate_blocks(opts.seed, opts.num_patterns, a.inputs().size());
   const std::size_t nchunks = common::num_chunks(blocks.size(), 4);
@@ -225,6 +228,8 @@ double hamming_distance_percent(const Netlist& a, const Netlist& b, const Hammin
 }
 
 bool functionally_equivalent(const Netlist& a, const Netlist& b, const HammingOptions& opts) {
+  MUXLINK_TRACE("sim.equiv");
+  MUXLINK_COUNTER_ADD("sim.patterns", static_cast<std::int64_t>(opts.num_patterns));
   const PairedRunner runner(a, b, opts);
   const auto blocks = generate_blocks(opts.seed, opts.num_patterns, a.inputs().size());
   std::atomic<bool> mismatch{false};

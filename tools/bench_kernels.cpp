@@ -15,15 +15,19 @@
 // numbers, orthogonal to the thread-pool scaling bench_pipeline measures.
 //
 //   bench_kernels [--circuit c880] [--hops 3] [--min-ms 300] [--rows 64]
+//                 [--report F]
 //
-// Appends nothing; prints one JSON object to stdout. Check the output in as
-// BENCH_kernels.json (see EXPERIMENTS.md for the refresh workflow).
+// Appends nothing; prints one muxlink.run/v1 manifest line to stdout
+// (--report additionally writes it pretty-printed to F). Check the output
+// in as BENCH_kernels.json (see EXPERIMENTS.md for the refresh workflow).
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <random>
 
 #include "circuitgen/suites.h"
+#include "common/run_manifest.h"
 #include "common/thread_pool.h"
 #include "gnn/dgcnn.h"
 #include "gnn/encoding.h"
@@ -73,7 +77,7 @@ struct KernelTimes {
 int main(int argc, char** argv) {
   const tools::CliArgs args(argc - 1, argv + 1);
   try {
-    args.allow_only({"circuit", "hops", "min-ms", "rows"});
+    args.allow_only({"circuit", "hops", "min-ms", "rows", "report"});
     const std::string circuit = args.get_or("circuit", "c880");
     const int hops = static_cast<int>(args.get_long("hops", 3));
     const double min_s = static_cast<double>(args.get_long("min-ms", 300)) / 1000.0;
@@ -145,22 +149,39 @@ int main(int argc, char** argv) {
     abt.naive_ns = 1e9 * time_per_call(
                              min_s, [&](std::size_t) { gnn::matmul_a_bt_naive(b_grad, w_fwd, out); });
 
-    std::cout << "{\"circuit\":\"" << circuit << "\",\"hops\":" << hops
-              << ",\"edges\":" << edges.size() << ",\"subgraph_nodes\":" << n
-              << ",\"extract_links_per_sec\":" << fast_lps
-              << ",\"extract_naive_links_per_sec\":" << naive_lps
-              << ",\"extract_speedup\":" << (naive_lps > 0.0 ? fast_lps / naive_lps : 0.0)
-              << ",\"propagate_ns\":" << 1e9 * prop_s
-              << ",\"propagate_transpose_ns\":" << 1e9 * propt_s
-              << ",\"matmul_rows\":" << rows << ",\"matmul_feat\":" << feat
-              << ",\"matmul_blocked_ns\":" << mm.blocked_ns
-              << ",\"matmul_naive_ns\":" << mm.naive_ns << ",\"matmul_speedup\":" << mm.speedup()
-              << ",\"at_b_accum_blocked_ns\":" << atb.blocked_ns
-              << ",\"at_b_accum_naive_ns\":" << atb.naive_ns
-              << ",\"at_b_accum_speedup\":" << atb.speedup()
-              << ",\"a_bt_blocked_ns\":" << abt.blocked_ns
-              << ",\"a_bt_naive_ns\":" << abt.naive_ns << ",\"a_bt_speedup\":" << abt.speedup()
-              << "}\n";
+    common::RunManifest m = common::make_run_manifest("bench_kernels");
+    m.threads = 1;  // per-core kernel numbers by construction
+    m.seed = 1;
+    m.circuit = circuit;
+    m.add_result("extract_links_per_sec", fast_lps);
+    m.add_result("extract_naive_links_per_sec", naive_lps);
+    m.add_result("extract_speedup", naive_lps > 0.0 ? fast_lps / naive_lps : 0.0);
+    m.add_result("propagate_ns", 1e9 * prop_s);
+    m.add_result("propagate_transpose_ns", 1e9 * propt_s);
+    m.add_result("matmul_blocked_ns", mm.blocked_ns);
+    m.add_result("matmul_naive_ns", mm.naive_ns);
+    m.add_result("matmul_speedup", mm.speedup());
+    m.add_result("at_b_accum_blocked_ns", atb.blocked_ns);
+    m.add_result("at_b_accum_naive_ns", atb.naive_ns);
+    m.add_result("at_b_accum_speedup", atb.speedup());
+    m.add_result("a_bt_blocked_ns", abt.blocked_ns);
+    m.add_result("a_bt_naive_ns", abt.naive_ns);
+    m.add_result("a_bt_speedup", abt.speedup());
+    common::Json extra = common::Json::object();
+    extra["hops"] = hops;
+    extra["edges"] = static_cast<std::int64_t>(edges.size());
+    extra["subgraph_nodes"] = n;
+    extra["matmul_rows"] = rows;
+    extra["matmul_feat"] = feat;
+    m.extra = std::move(extra);
+
+    const common::Json j = m.to_json();
+    std::cout << j.dump() << "\n";
+    if (const auto report = args.get("report")) {
+      std::ofstream os(*report);
+      if (!os) throw std::runtime_error("cannot write '" + *report + "'");
+      os << j.dump_pretty() << "\n";
+    }
     // The 1.5x extraction criterion is enforced by exit status so CI can
     // catch a regression without parsing JSON.
     return fast_lps >= 1.5 * naive_lps ? 0 : 3;

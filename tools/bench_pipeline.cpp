@@ -1,18 +1,24 @@
 // bench_pipeline — single-line-JSON perf tracker for the MuxLink pipeline.
 //
 // Locks one ISCAS-style circuit, runs the full attack once single-threaded
-// and once with N threads, and prints one JSON object with the per-stage
-// wall times and the end-to-end speedup. Registered in CMake but NOT in
-// ctest: it exists so successive PRs can track a perf trajectory, e.g.
+// and once with N threads, and prints one muxlink.run/v1 manifest (see
+// common/run_manifest.h) with the per-stage wall times and the end-to-end
+// thread speedup. Registered in CMake but NOT in ctest: it exists so
+// successive PRs can track a perf trajectory, e.g.
 //
 //   ./build/tools/bench_pipeline --circuit c880 --threads 8 >> perf.jsonl
 //
 //   bench_pipeline [--circuit c880] [--key-bits 32] [--threads N]
-//                  [--epochs 20] [--links 2000] [--seed 1]
+//                  [--epochs 20] [--links 2000] [--seed 1] [--report F]
+//
+// stdout is always the compact single-line manifest; --report additionally
+// writes it pretty-printed to F.
+#include <fstream>
 #include <iostream>
 #include <thread>
 
 #include "circuitgen/suites.h"
+#include "common/run_manifest.h"
 #include "common/thread_pool.h"
 #include "locking/mux_lock.h"
 #include "muxlink/attack.h"
@@ -34,7 +40,7 @@ core::MuxLinkResult run_attack(const netlist::Netlist& locked, const core::MuxLi
 int main(int argc, char** argv) {
   const tools::CliArgs args(argc - 1, argv + 1);
   try {
-    args.allow_only({"circuit", "key-bits", "threads", "epochs", "links", "seed"});
+    args.allow_only({"circuit", "key-bits", "threads", "epochs", "links", "seed", "report"});
     const std::string circuit = args.get_or("circuit", "c880");
     const unsigned hw = std::thread::hardware_concurrency();
     const std::size_t threads = static_cast<std::size_t>(
@@ -63,17 +69,37 @@ int main(int argc, char** argv) {
 
     const double speedup =
         fast.total_seconds > 0.0 ? base.total_seconds / fast.total_seconds : 0.0;
-    std::cout << "{\"circuit\":\"" << circuit << "\",\"key_bits\":" << lopts.key_bits
-              << ",\"training_links\":" << base.training_links << ",\"threads\":" << threads
-              << ",\"sample_seconds_1\":" << base.sample_seconds
-              << ",\"train_seconds_1\":" << base.train_seconds
-              << ",\"score_seconds_1\":" << base.score_seconds
-              << ",\"total_seconds_1\":" << base.total_seconds
-              << ",\"sample_seconds_n\":" << fast.sample_seconds
-              << ",\"train_seconds_n\":" << fast.train_seconds
-              << ",\"score_seconds_n\":" << fast.score_seconds
-              << ",\"total_seconds_n\":" << fast.total_seconds << ",\"speedup\":" << speedup
-              << ",\"bit_identical\":" << (identical ? "true" : "false") << "}\n";
+
+    common::RunManifest m = common::make_run_manifest("bench_pipeline");
+    m.threads = static_cast<int>(threads);
+    m.seed = opts.seed;
+    m.circuit = circuit;
+    m.scheme = "dmux";
+    m.key_bits = static_cast<std::int64_t>(lopts.key_bits);
+    m.add_stage("sample_1", base.sample_seconds);
+    m.add_stage("train_1", base.train_seconds);
+    m.add_stage("score_1", base.score_seconds);
+    m.add_stage("total_1", base.total_seconds);
+    m.add_stage("sample_n", fast.sample_seconds);
+    m.add_stage("train_n", fast.train_seconds);
+    m.add_stage("score_n", fast.score_seconds);
+    m.add_stage("total_n", fast.total_seconds);
+    m.add_result("thread_speedup", speedup);
+    m.add_result("training_links", static_cast<double>(base.training_links));
+    m.add_result("bit_identical", identical ? 1.0 : 0.0);
+    common::Json extra = common::Json::object();
+    extra["epochs"] = opts.epochs;
+    extra["links"] = static_cast<std::int64_t>(opts.max_train_links);
+    m.extra = std::move(extra);
+    m.observability = common::observability_to_json();
+
+    const common::Json j = m.to_json();
+    std::cout << j.dump() << "\n";
+    if (const auto report = args.get("report")) {
+      std::ofstream os(*report);
+      if (!os) throw std::runtime_error("cannot write '" + *report + "'");
+      os << j.dump_pretty() << "\n";
+    }
     return identical ? 0 : 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

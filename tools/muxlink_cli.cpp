@@ -8,16 +8,24 @@
 //   muxlink attack <locked.bench> [--hops H] [--th T] [--epochs E]
 //                  [--lr L] [--links N] [--seed S]
 //                  [--key-out key.txt] [--recover out.bench]
+//                  [--report run.json] [--telemetry epochs.jsonl]
+//                  [--truth-key key.txt|BITS] [--orig orig.bench]
+//                  [--scheme LABEL] [--patterns N]
 //   muxlink saam <locked.bench>
 //   muxlink scope <locked.bench>
 //   muxlink hd <a.bench> <b.bench> [--patterns N] [--key BITSTRING]
 //
 // Exit code 0 on success, 1 on CLI misuse, 2 on processing errors.
+#include <cctype>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <random>
 
 #include "attacks/constprop.h"
+#include "attacks/metrics.h"
 #include "attacks/saam.h"
+#include "common/run_manifest.h"
 #include "common/thread_pool.h"
 #include "circuitgen/suites.h"
 #include "locking/mux_lock.h"
@@ -65,6 +73,16 @@ commands:
   attack <locked.bench> [--hops H] [--th T]    run the MuxLink attack
        [--epochs E] [--lr L] [--links N] [--seed S]
        [--key-out F] [--recover F] [--threads N]
+       [--report F]      write a muxlink.run/v1 JSON manifest (stage timings,
+                         metrics snapshot, results) to F
+       [--telemetry F]   stream per-epoch training telemetry (loss, AUC,
+                         grad norm) to F as JSONL
+       [--truth-key V]   ground-truth key (file or literal bitstring):
+                         adds AC/PC/KPA to the report
+       [--orig F]        original design: adds recovered-design HD% to the
+                         report (averaged over completions of X bits)
+       [--patterns N]    simulation patterns for --orig HD (default 10000)
+       [--scheme LABEL]  locking-scheme label recorded in the report
   saam <locked.bench>                          structural SAAM attack
   scope <locked.bench>                         unsupervised SCOPE attack
   hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
@@ -148,9 +166,64 @@ std::string render_key(const std::vector<locking::KeyBit>& key) {
   return s;
 }
 
+// --truth-key accepts either a file holding the bitstring or the bitstring
+// itself.
+std::vector<std::uint8_t> read_truth_key(const std::string& value) {
+  std::string text = value;
+  if (std::ifstream is(value); is) {
+    std::getline(is, text);
+  }
+  std::vector<std::uint8_t> bits;
+  bits.reserve(text.size());
+  for (char c : text) {
+    if (c == '0' || c == '1') {
+      bits.push_back(static_cast<std::uint8_t>(c - '0'));
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument("--truth-key: '" + value +
+                                  "' is neither a readable file nor a bitstring");
+    }
+  }
+  if (bits.empty()) throw std::invalid_argument("--truth-key: empty key");
+  return bits;
+}
+
+// HD between the original design and the recovered one. Undeciphered key
+// bits leave their key inputs free in `recovered`; following the paper's
+// Fig. 8 protocol, the HD is averaged over completions of those bits
+// (enumerated up to 2^4, sampled beyond that).
+double report_hd_percent(const netlist::Netlist& orig, const netlist::Netlist& recovered,
+                         std::size_t patterns, std::uint64_t seed) {
+  sim::HammingOptions hopts;
+  hopts.num_patterns = patterns;
+  // The undecided key inputs are whatever inputs the recovered design has
+  // beyond the original's (find_key_inputs needs contiguous indices, which
+  // a partially recovered design no longer has).
+  std::vector<std::string> free_keys;
+  for (netlist::GateId g : recovered.inputs()) {
+    const std::string& name = recovered.gate(g).name;
+    if (name.starts_with("keyinput")) free_keys.push_back(name);
+  }
+  if (free_keys.empty()) return sim::hamming_distance_percent(orig, recovered, hopts);
+  const std::size_t n = free_keys.size();
+  const bool enumerate = n <= 4;
+  const std::size_t completions = enumerate ? (std::size_t{1} << n) : 16;
+  std::mt19937_64 rng(seed);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < completions; ++c) {
+    hopts.extra_inputs_b.clear();
+    const std::uint64_t bits = enumerate ? c : rng();
+    for (std::size_t i = 0; i < n; ++i) {
+      hopts.extra_inputs_b.emplace_back(free_keys[i], ((bits >> i) & 1) != 0);
+    }
+    sum += sim::hamming_distance_percent(orig, recovered, hopts);
+  }
+  return sum / static_cast<double>(completions);
+}
+
 int cmd_attack(const CliArgs& args) {
   args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover",
-                   "threads"});
+                   "threads", "report", "telemetry", "truth-key", "orig", "scheme",
+                   "patterns"});
   if (args.positional().size() != 1) return usage();
   if (const long t = args.get_long("threads", 0); t > 0) {
     common::set_num_threads(static_cast<std::size_t>(t));
@@ -163,6 +236,7 @@ int cmd_attack(const CliArgs& args) {
   opts.learning_rate = args.get_double("lr", 1e-3);
   opts.max_train_links = static_cast<std::size_t>(args.get_long("links", 100000));
   opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  opts.telemetry_path = args.get_or("telemetry", "");
   core::MuxLinkAttack attack(opts);
   const auto result = attack.run(locked);
   std::cout << "deciphered key = " << render_key(result.key) << "\n";
@@ -171,9 +245,70 @@ int cmd_attack(const CliArgs& args) {
   std::cout << "stages: sample " << result.sample_seconds << "s, train " << result.train_seconds
             << "s, score " << result.score_seconds << "s (" << result.threads << " threads)\n";
   if (const auto key_out = args.get("key-out")) write_text(*key_out, render_key(result.key) + "\n");
-  if (const auto recover = args.get("recover")) {
-    write_design(core::recover_design(locked, result.key), *recover);
-    std::cout << "wrote " << *recover << "\n";
+
+  std::optional<attacks::KeyPredictionScore> score;
+  if (const auto truth = args.get("truth-key")) {
+    const auto bits = read_truth_key(*truth);
+    if (bits.size() != result.key.size()) {
+      throw std::invalid_argument("--truth-key length " + std::to_string(bits.size()) +
+                                  " != " + std::to_string(result.key.size()) + " deciphered bits");
+    }
+    score = attacks::score_key(bits, result.key);
+    std::cout << "vs ground truth: " << score->to_string() << "\n";
+  }
+
+  std::optional<netlist::Netlist> recovered;
+  if (args.has("recover") || args.has("orig")) {
+    recovered = core::recover_design(locked, result.key);
+  }
+  if (const auto out = args.get("recover")) {
+    write_design(*recovered, *out);
+    std::cout << "wrote " << *out << "\n";
+  }
+  std::optional<double> hd;
+  if (const auto orig_path = args.get("orig")) {
+    const auto orig = read_design(*orig_path);
+    hd = report_hd_percent(orig, *recovered,
+                           static_cast<std::size_t>(args.get_long("patterns", 10000)), opts.seed);
+    std::cout << "HD vs " << orig.name() << " = " << *hd << "%\n";
+  }
+
+  if (const auto report = args.get("report")) {
+    common::RunManifest m = common::make_run_manifest("muxlink attack");
+    m.seed = opts.seed;
+    m.circuit = locked.name();
+    m.scheme = args.get_or("scheme", "");
+    m.key_bits = static_cast<std::int64_t>(result.key.size());
+    m.add_stage("sample", result.sample_seconds);
+    m.add_stage("train", result.train_seconds);
+    m.add_stage("score", result.score_seconds);
+    m.add_stage("total", result.total_seconds);
+    m.add_result("best_val_accuracy", result.training.best_val_accuracy);
+    m.add_result("training_links", static_cast<double>(result.training_links));
+    m.add_result("target_links", static_cast<double>(result.target_links));
+    std::size_t undecided = 0;
+    for (locking::KeyBit b : result.key) undecided += b == locking::KeyBit::kUnknown ? 1 : 0;
+    m.add_result("key_bits_decided", static_cast<double>(result.key.size() - undecided));
+    m.add_result("key_bits_undecided", static_cast<double>(undecided));
+    if (score) {
+      m.add_result("accuracy_percent", score->accuracy_percent());
+      m.add_result("precision_percent", score->precision_percent());
+      m.add_result("kpa_percent", score->kpa_percent());
+    }
+    if (hd) m.add_result("hd_percent", *hd);
+    m.telemetry_path = opts.telemetry_path;
+    common::Json extra = common::Json::object();
+    extra["hops"] = opts.hops;
+    extra["threshold"] = opts.threshold;
+    extra["epochs"] = opts.epochs;
+    extra["learning_rate"] = opts.learning_rate;
+    extra["sortpool_k"] = result.sortpool_k;
+    extra["feature_dim"] = result.feature_dim;
+    extra["deciphered_key"] = render_key(result.key);
+    m.extra = std::move(extra);
+    m.observability = common::observability_to_json();
+    write_text(*report, m.to_json().dump_pretty() + "\n");
+    std::cout << "wrote " << *report << "\n";
   }
   return 0;
 }
