@@ -7,6 +7,7 @@
 #   ./ci.sh tier1    # Release build + ctest only
 #   ./ci.sh san      # sanitizer build + ctest only
 #   ./ci.sh docs     # report pipeline + manifest validation + Markdown links
+#   ./ci.sh faults   # kill-and-resume e2e + netlist fuzz smoke (sanitized)
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -83,11 +84,52 @@ run_docs() {
   [ "$fail" -eq 0 ]
 }
 
+run_faults() {
+  echo "== faults: kill-and-resume e2e + fuzz smoke under ASan+UBSan =="
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs" --target muxlink_cli fuzz_netlist
+  local d cli
+  d="$(mktemp -d)"
+  cli=build-san/tools/muxlink
+
+  # Kill-and-resume drill against the sanitized CLI: SIGKILL after epoch 3's
+  # checkpoint lands, then resume and demand a BYTE-identical model (the
+  # crash-safety contract from DESIGN.md §8).
+  "$cli" gen c432 --out "$d/c.bench" >/dev/null
+  "$cli" lock "$d/c.bench" --scheme dmux --key-bits 8 --seed 5 \
+    --out "$d/l.bench" --key-out "$d/k.txt" >/dev/null
+  "$cli" attack "$d/l.bench" --epochs 6 --links 120 --seed 7 --threads 2 \
+    --checkpoint-dir "$d/ck_base" --save-model "$d/base.model" >/dev/null
+  if MUXLINK_FAULTS=train.epoch:3 "$cli" attack "$d/l.bench" --epochs 6 \
+      --links 120 --seed 7 --threads 2 --checkpoint-dir "$d/ck" >/dev/null 2>&1; then
+    echo "fault injection did not kill the attack run" >&2; rm -rf "$d"; return 1
+  fi
+  [ -f "$d/ck/model0.ckpt" ] \
+    || { echo "no checkpoint survived the injected crash" >&2; rm -rf "$d"; return 1; }
+  "$cli" attack "$d/l.bench" --epochs 6 --links 120 --seed 7 --threads 2 \
+    --checkpoint-dir "$d/ck" --resume --save-model "$d/resumed.model" >/dev/null
+  cmp "$d/base.model" "$d/resumed.model" \
+    || { echo "resumed model is not bit-identical" >&2; rm -rf "$d"; return 1; }
+
+  # Deterministic mutation fuzzing of the netlist parsers, time-boxed:
+  # mutated BENCH/Verilog inputs must parse or raise NetlistError, never
+  # crash or trip a sanitizer.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tools/fuzz_netlist --corpus tests/corpus --iters 200000 \
+      --max-seconds 30 --seed 1
+  rm -rf "$d"
+}
+
 case "$stage" in
-  tier1) run_tier1 ;;
-  san)   run_san ;;
-  docs)  run_docs ;;
-  all)   run_tier1; run_san; run_docs ;;
-  *) echo "usage: $0 [tier1|san|docs|all]" >&2; exit 64 ;;
+  tier1)  run_tier1 ;;
+  san)    run_san ;;
+  docs)   run_docs ;;
+  faults) run_faults ;;
+  all)    run_tier1; run_san; run_docs; run_faults ;;
+  *) echo "usage: $0 [tier1|san|docs|faults|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

@@ -1,0 +1,59 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fault.h"
+
+namespace muxlink::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::filesystem::path& path) {
+  throw std::runtime_error("atomic_write_file: " + op + " failed for '" + path.string() +
+                           "': " + std::strerror(errno));
+}
+
+// fsync a directory so the rename itself is durable (POSIX requires the
+// directory entry to be synced separately from the file data).
+void sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse directory fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::filesystem::path& path, std::string_view payload) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", tmp);
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) fail("close", tmp);
+
+  MUXLINK_FAULT_POINT("io.atomic_rename");
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", path);
+  sync_directory(path.parent_path());
+}
+
+}  // namespace muxlink::common

@@ -1,0 +1,20 @@
+// Crash-safe file replacement: write to a temp file in the target
+// directory, fsync it, rename() over the destination, fsync the directory.
+// A reader never observes a partially written destination — after a crash
+// at ANY point the destination holds either the previous complete contents
+// or the new complete contents (plus possibly a stray `<name>.tmp`, which
+// readers must ignore).
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace muxlink::common {
+
+// Atomically replaces `path` with `payload`. Throws std::runtime_error on
+// any I/O failure (the destination is left untouched; a partial temp file
+// may remain). Fault site: `io.atomic_rename` fires between the temp-file
+// fsync and the rename — a kill there leaves only the stray temp.
+void atomic_write_file(const std::filesystem::path& path, std::string_view payload);
+
+}  // namespace muxlink::common

@@ -1,0 +1,28 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace muxlink::common {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace muxlink::common

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check guarding checkpoint and model files. Table-driven, no dependencies;
+// check value: crc32("123456789") == 0xCBF43926.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace muxlink::common {
+
+// CRC of `data` continuing from `seed` (pass the previous return value to
+// checksum a stream incrementally; the default starts a fresh CRC).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace muxlink::common

@@ -1,0 +1,141 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace muxlink::common::fault {
+
+namespace {
+
+struct ArmedSite {
+  std::uint64_t nth = 0;
+  Action action = Action::kThrow;
+  std::uint64_t count = 0;
+  bool fired = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedSite> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Fast path: one relaxed load when nothing is armed. The env variable is
+// folded in before the first armed-check so `MUXLINK_FAULTS` works without
+// any code calling configure explicitly.
+std::atomic<int> g_armed_count{0};
+std::once_flag g_env_once;
+
+void load_env_specs() {
+  if (const char* env = std::getenv("MUXLINK_FAULTS"); env != nullptr && *env != '\0') {
+    configure_from_string(env);
+  }
+}
+
+Action parse_action(const std::string& s) {
+  if (s == "kill") return Action::kKill;
+  if (s == "throw") return Action::kThrow;
+  if (s == "nan") return Action::kNan;
+  throw std::invalid_argument("MUXLINK_FAULTS: unknown action '" + s +
+                              "' (expected kill|throw|nan)");
+}
+
+}  // namespace
+
+void arm(const std::string& site, std::uint64_t nth, Action action) {
+  if (site.empty() || nth == 0) {
+    throw std::invalid_argument("fault::arm: site must be non-empty and nth >= 1");
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.insert_or_assign(site, ArmedSite{nth, action, 0, false});
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed_count.fetch_sub(static_cast<int>(r.sites.size()), std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+void configure_from_string(const std::string& spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const std::string entry =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!entry.empty()) {
+      const auto c1 = entry.find(':');
+      if (c1 == std::string::npos || c1 == 0) {
+        throw std::invalid_argument("MUXLINK_FAULTS: expected <site>:<nth>[:<action>] in '" +
+                                    entry + "'");
+      }
+      const auto c2 = entry.find(':', c1 + 1);
+      const std::string site = entry.substr(0, c1);
+      const std::string nth_str =
+          entry.substr(c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+      std::uint64_t nth = 0;
+      try {
+        std::size_t consumed = 0;
+        nth = std::stoull(nth_str, &consumed);
+        if (consumed != nth_str.size()) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        throw std::invalid_argument("MUXLINK_FAULTS: bad occurrence count '" + nth_str +
+                                    "' in '" + entry + "'");
+      }
+      const Action action =
+          c2 == std::string::npos ? Action::kKill : parse_action(entry.substr(c2 + 1));
+      arm(site, nth, action);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.count;
+}
+
+bool fire(const char* site) {
+  std::call_once(g_env_once, load_env_specs);
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+
+  Action action;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end()) return false;
+    ArmedSite& armed = it->second;
+    ++armed.count;
+    if (armed.fired || armed.count != armed.nth) return false;
+    armed.fired = true;
+    action = armed.action;
+  }
+  switch (action) {
+    case Action::kKill:
+      // A real crash: no unwinding, no atexit, no flushing. Whatever is on
+      // disk is exactly what a recovery path gets to work with.
+      std::raise(SIGKILL);
+      std::abort();  // unreachable; SIGKILL cannot be handled
+    case Action::kThrow:
+      throw FaultInjected(std::string("injected fault at site '") + site + "'");
+    case Action::kNan:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace muxlink::common::fault

@@ -1,0 +1,72 @@
+// Deterministic fault injection (DESIGN.md §8): named fault sites placed on
+// cold control paths (file I/O, checkpoint writes, stage/epoch boundaries)
+// that can be armed to kill the process, throw, or poison a value on their
+// n-th execution. Recovery paths become testable in CI instead of
+// theoretical: a kill-and-resume e2e arms `train.epoch:3` and asserts the
+// resumed run is bit-identical to an uninterrupted one.
+//
+// Arming is either programmatic (tests) or via the environment:
+//
+//   MUXLINK_FAULTS=<site>:<nth>[:<action>][,<site>:<nth>[:<action>]...]
+//
+// with action one of `kill` (raise SIGKILL — the default, simulating a
+// crash/OOM-kill with no stack unwinding), `throw` (throw FaultInjected,
+// for in-process tests that must keep running), or `nan` (the site's
+// poison() overwrites its value with a quiet NaN, for divergence drills).
+// The n-th execution of the site (1-based, counted process-wide) fires the
+// fault exactly once; executions are only counted while a spec is armed for
+// the site, so unarmed runs pay one relaxed atomic load per site execution.
+//
+// Sites live on sequential paths only — never inside parallel_for bodies —
+// so "the n-th execution" is a deterministic, thread-count-independent
+// event.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace muxlink::common::fault {
+
+enum class Action { kKill, kThrow, kNan };
+
+// Thrown by fire() when a site armed with Action::kThrow fires.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Arms `site` to fire on its nth (1-based) execution from now on. Counting
+// for the site restarts at 0. Overwrites any previous arming of the site.
+void arm(const std::string& site, std::uint64_t nth, Action action = Action::kThrow);
+
+// Clears every armed fault and every counter (tests call this in SetUp).
+void disarm_all();
+
+// Parses a MUXLINK_FAULTS-style spec list and arms it. Throws
+// std::invalid_argument on a malformed spec. Exposed for tests; the
+// environment variable goes through this on the first fire().
+void configure_from_string(const std::string& spec);
+
+// Executions counted for `site` since it was armed (0 when unarmed).
+std::uint64_t hits(const std::string& site);
+
+// The hook. Returns false when the site is unarmed or this is not the nth
+// execution. On the nth execution: kKill raises SIGKILL (no unwinding,
+// no destructors — a real crash), kThrow throws FaultInjected, kNan
+// returns true so the caller can poison its value.
+bool fire(const char* site);
+
+// Convenience for kNan sites: overwrites `value` with quiet NaN when the
+// site fires (kill/throw actions act inside fire() as usual).
+inline void poison(const char* site, double& value) {
+  if (fire(site)) value = std::nan("");
+}
+
+}  // namespace muxlink::common::fault
+
+// Marks a fault site. Expands to a plain fire() call; the macro exists so
+// call sites read as annotations and can be grepped into the site registry
+// (DESIGN.md §8 table).
+#define MUXLINK_FAULT_POINT(site) ::muxlink::common::fault::fire(site)

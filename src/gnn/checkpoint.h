@@ -1,0 +1,83 @@
+// Crash-safe trainer checkpoints (DESIGN.md §8).
+//
+// A checkpoint is the COMPLETE trainer state at an epoch boundary — current
+// parameters, best-on-validation parameters, Adam moments + step counter,
+// the shuffle RNG cursor, the (possibly rollback-decayed) learning rate,
+// and the best/rollback bookkeeping. Because the trainer is deterministic
+// (DESIGN.md §5), restoring this state and running the remaining epochs
+// produces a final model bit-identical to an uninterrupted run; raw IEEE-754
+// bytes are stored so no decimal round-trip can perturb that.
+//
+// On-disk format (host-endian binary; a local resume artifact, not an
+// interchange format — ship models with gnn/serialize.h instead):
+//
+//   magic   "MXCKPT1\n" (8 bytes)
+//   payload u64 seed · i32 total_epochs · i32 epoch · f64 learning_rate ·
+//           i32 rollbacks · i32 best_epoch · f64 best_val_accuracy ·
+//           f64 best_train_loss · i64 adam_t ·
+//           u32 rng_len + rng_state bytes (std::mt19937_64 text form) ·
+//           u32 num_tensors ·
+//           4 tensor groups (params, best_params, adam_m, adam_v), each
+//           num_tensors × { i32 rows · i32 cols · rows*cols f64 }
+//   crc32   u32 over the payload
+//
+// Files are written via common::atomic_write_file, so a crash mid-write can
+// never tear the checkpoint: readers see the previous complete state or the
+// new one. Any mismatch (magic, CRC, truncation, trailing bytes, absurd
+// dimensions) raises CheckpointError — never garbage state.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gnn/matrix.h"
+
+namespace muxlink::gnn {
+
+// A corrupt, truncated, version-mismatched, or config-incompatible
+// checkpoint. Maps to CLI exit code 5 (DESIGN.md §8 exit-code table).
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TrainerCheckpoint {
+  // Run binding: resume refuses a checkpoint whose seed or epoch budget
+  // differs from the requested run (it could not be bit-identical).
+  std::uint64_t seed = 0;
+  int total_epochs = 0;
+
+  int epoch = 0;              // last completed epoch
+  double learning_rate = 0.0;  // current LR (decayed by rollbacks)
+  int rollbacks = 0;           // divergence rollbacks so far
+  int best_epoch = -1;
+  double best_val_accuracy = -1.0;
+  double best_train_loss = std::numeric_limits<double>::infinity();
+  long adam_t = 0;
+  std::string rng_state;  // std::mt19937_64 via operator<< / operator>>
+
+  std::vector<Matrix> params;
+  std::vector<Matrix> best_params;
+  std::vector<Matrix> adam_m;
+  std::vector<Matrix> adam_v;
+};
+
+// In-memory encode/decode (exposed for tests; decode throws CheckpointError
+// on any malformation).
+std::string encode_checkpoint(const TrainerCheckpoint& ckpt);
+TrainerCheckpoint decode_checkpoint(std::string_view bytes);
+
+// Atomic write (temp + fsync + rename). Fault site `ckpt.write` fires
+// before any byte is written; `io.atomic_rename` fires between temp fsync
+// and rename (see common/fault.h).
+void save_checkpoint_file(const TrainerCheckpoint& ckpt, const std::filesystem::path& path);
+
+// Loads and validates; throws CheckpointError on missing/corrupt files.
+TrainerCheckpoint load_checkpoint_file(const std::filesystem::path& path);
+
+}  // namespace muxlink::gnn

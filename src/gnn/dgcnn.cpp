@@ -456,6 +456,34 @@ void Dgcnn::zero_gradients() {
   for (Matrix& g : grads_) g.zero();
 }
 
+void Dgcnn::set_optimizer_state(const OptimizerState& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    throw std::invalid_argument("set_optimizer_state: tensor count mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (state.m[i].rows != params_[i].rows || state.m[i].cols != params_[i].cols ||
+        state.v[i].rows != params_[i].rows || state.v[i].cols != params_[i].cols) {
+      throw std::invalid_argument("set_optimizer_state: tensor " + std::to_string(i) +
+                                  " shape mismatch");
+    }
+  }
+  adam_m_ = state.m;
+  adam_v_ = state.v;
+  adam_t_ = state.t;
+}
+
+void Dgcnn::reset_optimizer() {
+  for (Matrix& m : adam_m_) m.zero();
+  for (Matrix& v : adam_v_) v.zero();
+  adam_t_ = 0;
+}
+
+void Dgcnn::scale_gradients(double factor) {
+  for (Matrix& g : grads_) {
+    for (double& x : g.data) x *= factor;
+  }
+}
+
 std::vector<Matrix> Dgcnn::save_parameters() const { return params_; }
 
 void Dgcnn::load_parameters(const std::vector<Matrix>& params) {

@@ -111,6 +111,28 @@ class Dgcnn {
   std::vector<Matrix> save_parameters() const;
   void load_parameters(const std::vector<Matrix>& params);
 
+  // Optimizer state (Adam moments + step counter) for crash-safe trainer
+  // checkpoints (gnn/checkpoint.h): resuming mid-training is bit-identical
+  // to an uninterrupted run only if the moments and step count survive too.
+  struct OptimizerState {
+    std::vector<Matrix> m;
+    std::vector<Matrix> v;
+    long t = 0;
+  };
+  OptimizerState optimizer_state() const { return {adam_m_, adam_v_, adam_t_}; }
+  void set_optimizer_state(const OptimizerState& state);  // validates shapes
+  // Zeros the moments and the step counter (divergence rollback: NaN-
+  // poisoned moments must not leak into the restarted trajectory).
+  void reset_optimizer();
+
+  // Overrides the learning rate mid-training (divergence rollback decays
+  // it; checkpoints carry the current value).
+  void set_learning_rate(double lr) noexcept { cfg_.learning_rate = lr; }
+
+  // Scales the accumulated (pre-adam_step) gradients in place — the
+  // trainer's global-norm gradient clipping.
+  void scale_gradients(double factor);
+
   // Accumulated (unaveraged) gradients since the last adam_step — exposed
   // for gradient-checking tests and optimizer experiments.
   const std::vector<Matrix>& gradients() const noexcept { return grads_; }

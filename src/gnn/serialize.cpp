@@ -1,20 +1,39 @@
 #include "gnn/serialize.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/crc32.h"
+#include "common/fault.h"
 
 namespace muxlink::gnn {
 
 namespace {
-constexpr const char* kMagic = "muxlink-dgcnn-v1";
+
+constexpr const char* kMagicV2 = "muxlink-dgcnn-v2";
+constexpr const char* kMagicV1 = "muxlink-dgcnn-v1";
+// A corrupt-but-plausible header must not drive unbounded allocation.
+constexpr std::size_t kMaxParams = 4096;
+constexpr long long kMaxTensorElems = 1LL << 28;
+
+[[noreturn]] void fail(const std::string& what) { throw ModelFormatError("load_model: " + what); }
+
+// Strict field readers: every extraction is checked immediately, so a
+// truncated or non-numeric stream reports the field it died on instead of
+// silently returning a partially filled model.
+template <typename T>
+T read_field(std::istream& is, const char* what) {
+  T value{};
+  if (!(is >> value)) fail(std::string("truncated or malformed ") + what);
+  return value;
 }
 
-void save_model(const Dgcnn& model, std::ostream& os) {
+std::string payload_of(const Dgcnn& model) {
   const DgcnnConfig& cfg = model.config();
-  os << kMagic << '\n';
+  std::ostringstream os;
   os << model.feature_dim() << '\n';
   os << cfg.conv_channels.size();
   for (int c : cfg.conv_channels) os << ' ' << c;
@@ -30,6 +49,16 @@ void save_model(const Dgcnn& model, std::ostream& os) {
     for (double x : m.data) os << ' ' << x;
     os << '\n';
   }
+  return os.str();
+}
+
+}  // namespace
+
+void save_model(const Dgcnn& model, std::ostream& os) {
+  const std::string payload = payload_of(model);
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof(crc_line), "crc32 %08x\n", common::crc32(payload));
+  os << kMagicV2 << '\n' << payload << crc_line;
   if (!os) throw std::runtime_error("save_model: stream write failed");
 }
 
@@ -41,44 +70,79 @@ void save_model_file(const Dgcnn& model, const std::filesystem::path& path) {
 
 Dgcnn load_model(std::istream& is) {
   std::string magic;
-  is >> magic;
-  if (magic != kMagic) throw std::runtime_error("load_model: bad magic '" + magic + "'");
-  int feature_dim = 0;
-  is >> feature_dim;
-  std::size_t num_layers = 0;
-  is >> num_layers;
-  if (!is || feature_dim < 1 || num_layers < 1 || num_layers > 64) {
-    throw std::runtime_error("load_model: malformed header");
+  if (!(is >> magic)) fail("empty stream");
+  if (magic == kMagicV1) {
+    fail("unsupported format version '" + magic + "' (this build reads/writes " + kMagicV2 +
+         "; re-save the model)");
   }
+  if (magic != kMagicV2) fail("bad magic '" + magic + "'");
+
+  // Slurp the rest: the CRC trailer guards the payload as a whole, so the
+  // stream is read once and all parsing happens on the verified bytes.
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string rest = buf.str();
+  if (!rest.empty() && rest.front() == '\n') rest.erase(0, 1);
+  const auto crc_pos = rest.rfind("crc32 ");
+  if (crc_pos == std::string::npos) fail("missing crc32 trailer (truncated file?)");
+  const std::string payload = rest.substr(0, crc_pos);
+  std::istringstream crc_line(rest.substr(crc_pos + 6));
+  std::uint32_t stored_crc = 0;
+  if (!(crc_line >> std::hex >> stored_crc)) fail("malformed crc32 trailer");
+  // Nothing but whitespace may follow the trailer.
+  std::string trailing;
+  if (crc_line >> trailing) fail("trailing bytes after crc32 trailer: '" + trailing + "'");
+  if (common::crc32(payload) != stored_crc) {
+    fail("crc32 mismatch (corrupt or truncated model file)");
+  }
+
+  std::istringstream ps(payload);
+  const int feature_dim = read_field<int>(ps, "feature dim");
+  const auto num_layers = read_field<std::size_t>(ps, "layer count");
+  if (feature_dim < 1 || num_layers < 1 || num_layers > 64) fail("malformed header");
   DgcnnConfig cfg;
   cfg.conv_channels.assign(num_layers, 0);
-  for (auto& c : cfg.conv_channels) is >> c;
-  is >> cfg.conv1d_channels1 >> cfg.conv1d_channels2 >> cfg.conv1d_kernel2 >> cfg.dense_units >>
-      cfg.sortpool_k;
-  is >> cfg.dropout >> cfg.learning_rate >> cfg.seed;
-  std::size_t num_params = 0;
-  is >> num_params;
-  if (!is) throw std::runtime_error("load_model: malformed config");
+  for (auto& c : cfg.conv_channels) c = read_field<int>(ps, "conv channel");
+  cfg.conv1d_channels1 = read_field<int>(ps, "conv1d channels1");
+  cfg.conv1d_channels2 = read_field<int>(ps, "conv1d channels2");
+  cfg.conv1d_kernel2 = read_field<int>(ps, "conv1d kernel2");
+  cfg.dense_units = read_field<int>(ps, "dense units");
+  cfg.sortpool_k = read_field<int>(ps, "sortpool k");
+  cfg.dropout = read_field<double>(ps, "dropout");
+  cfg.learning_rate = read_field<double>(ps, "learning rate");
+  cfg.seed = read_field<std::uint64_t>(ps, "seed");
+  const auto num_params = read_field<std::size_t>(ps, "parameter count");
+  if (num_params > kMaxParams) fail("implausible parameter count");
 
   Dgcnn model(feature_dim, cfg);
   std::vector<Matrix> params;
   params.reserve(num_params);
   for (std::size_t p = 0; p < num_params; ++p) {
-    int rows = 0, cols = 0;
-    is >> rows >> cols;
-    if (!is || rows < 0 || cols < 0) throw std::runtime_error("load_model: bad tensor header");
+    const int rows = read_field<int>(ps, "tensor rows");
+    const int cols = read_field<int>(ps, "tensor cols");
+    if (rows < 0 || cols < 0 || static_cast<long long>(rows) * cols > kMaxTensorElems) {
+      fail("bad tensor header " + std::to_string(rows) + "x" + std::to_string(cols));
+    }
     Matrix m(rows, cols);
-    for (double& x : m.data) is >> x;
+    for (double& x : m.data) x = read_field<double>(ps, "tensor value");
     params.push_back(std::move(m));
   }
-  if (!is) throw std::runtime_error("load_model: truncated tensor data");
-  model.load_parameters(params);  // validates the shape count
+  // Exact consumption: any leftover token means the tensor table and the
+  // actual data disagree (e.g. an oversized file whose CRC was re-stamped).
+  std::string leftover;
+  if (ps >> leftover) fail("trailing bytes after last tensor: '" + leftover + "'");
+  try {
+    model.load_parameters(params);  // validates the shape count
+  } catch (const std::invalid_argument& e) {
+    fail(std::string("parameters do not match the declared topology: ") + e.what());
+  }
   return model;
 }
 
 Dgcnn load_model_file(const std::filesystem::path& path) {
+  MUXLINK_FAULT_POINT("io.model_load");
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("load_model_file: cannot open '" + path.string() + "'");
+  if (!is) throw ModelFormatError("load_model_file: cannot open '" + path.string() + "'");
   return load_model(is);
 }
 

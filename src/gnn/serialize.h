@@ -1,22 +1,37 @@
 // DGCNN model checkpointing: a portable text format carrying the topology
-// and every parameter tensor at full double precision, so a trained link
-// predictor can be shipped or reloaded without retraining.
+// and every parameter tensor at full double precision (max_digits10, so
+// values round-trip exactly), so a trained link predictor can be shipped or
+// reloaded without retraining.
+//
+// Format v2 adds integrity guarding: the first line is the magic/version
+// `muxlink-dgcnn-v2`, the last line is `crc32 <8 hex digits>` over
+// everything in between. Truncation, bit rot, or trailing garbage is
+// detected and reported as ModelFormatError instead of silently producing
+// a model with garbage weights.
 #pragma once
 
 #include <filesystem>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 
 #include "gnn/dgcnn.h"
 
 namespace muxlink::gnn {
 
+// Malformed, truncated, corrupt, or version-mismatched model file. Carries
+// a field-located message; maps to CLI exit code 4 (DESIGN.md §8).
+class ModelFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 // Writes `model` (topology + parameters) to the stream/file.
 void save_model(const Dgcnn& model, std::ostream& os);
 void save_model_file(const Dgcnn& model, const std::filesystem::path& path);
 
-// Reconstructs a model; throws std::runtime_error on malformed input or
-// version mismatch.
+// Reconstructs a model; throws ModelFormatError on malformed input, CRC
+// mismatch, truncation, trailing bytes, or version mismatch.
 Dgcnn load_model(std::istream& is);
 Dgcnn load_model_file(const std::filesystem::path& path);
 

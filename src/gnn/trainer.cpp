@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <numeric>
 #include <random>
+#include <sstream>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "gnn/checkpoint.h"
 
 namespace muxlink::gnn {
 
@@ -149,9 +153,55 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
   double best_acc = -1.0;
   double best_loss = std::numeric_limits<double>::infinity();
   int best_epoch = -1;
+  int start_epoch = 1;
 
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
+
+  // Crash-safe resume: restore the complete trainer state (parameters,
+  // Adam moments, best-so-far tracking, decayed LR) from the checkpoint.
+  // The batch order is CUMULATIVE state — epoch k shuffles the permutation
+  // epoch k-1 left behind — so it is re-derived by replaying the k epoch
+  // shuffles (the only RNG consumers besides the split above). That replay
+  // also walks the RNG to exactly where the interrupted run left it, which
+  // the checkpoint's serialized RNG state cross-checks: any drift (e.g. a
+  // different training-set size) fails loudly instead of resuming into a
+  // not-quite-identical trajectory (DESIGN.md §8).
+  if (opts.resume && !opts.checkpoint_path.empty() &&
+      std::filesystem::exists(opts.checkpoint_path)) {
+    const TrainerCheckpoint ckpt = load_checkpoint_file(opts.checkpoint_path);
+    if (ckpt.seed != opts.seed || ckpt.total_epochs != opts.epochs) {
+      throw CheckpointError("'" + opts.checkpoint_path + "' was written by a run with seed " +
+                            std::to_string(ckpt.seed) + "/" +
+                            std::to_string(ckpt.total_epochs) + " epochs; this run has " +
+                            std::to_string(opts.seed) + "/" + std::to_string(opts.epochs) +
+                            " — resume would not be bit-identical");
+    }
+    try {
+      model.load_parameters(ckpt.params);
+      model.set_optimizer_state({ckpt.adam_m, ckpt.adam_v, ckpt.adam_t});
+    } catch (const std::invalid_argument& e) {
+      throw CheckpointError("'" + opts.checkpoint_path +
+                            "' does not match the model topology: " + e.what());
+    }
+    model.set_learning_rate(ckpt.learning_rate);
+    for (int e = 1; e <= ckpt.epoch; ++e) std::shuffle(order.begin(), order.end(), rng);
+    std::ostringstream rng_check;
+    rng_check << rng;
+    if (rng_check.str() != ckpt.rng_state) {
+      throw CheckpointError("'" + opts.checkpoint_path +
+                            "' RNG state does not match the replayed epochs (training set "
+                            "changed?) — resume would not be bit-identical");
+    }
+    best = ckpt.best_params;
+    best_acc = ckpt.best_val_accuracy;
+    best_loss = ckpt.best_train_loss;
+    best_epoch = ckpt.best_epoch;
+    start_epoch = ckpt.epoch + 1;
+    report.rollbacks = ckpt.rollbacks;
+    report.resumed_from_epoch = ckpt.epoch;
+    MUXLINK_COUNTER_ADD("gnn.train.resumes", 1);
+  }
 
   // Per-slot gradient buffers: a batch is cut into fixed kGradChunk-sample
   // slots; each slot accumulates its samples' gradients sequentially (in
@@ -171,7 +221,13 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
   const bool want_stats = opts.telemetry != nullptr || opts.on_epoch_stats != nullptr;
   const bool want_auc = want_stats && opts.telemetry_auc;
 
-  for (int epoch = 1; epoch <= opts.epochs; ++epoch) {
+  // Gradient norms are needed per batch for telemetry AND for clipping;
+  // computing them is a full pass over the gradient tensors, so it stays
+  // off unless one of the two asked for it (guardrail-overhead budget:
+  // <= 2% on bench_pipeline with both off).
+  const bool want_norm = want_stats || opts.clip_grad > 0.0;
+
+  for (int epoch = start_epoch; epoch <= opts.epochs; ++epoch) {
     MUXLINK_TRACE("gnn.train.epoch");
     const auto t_epoch = std::chrono::steady_clock::now();
     std::shuffle(order.begin(), order.end(), rng);
@@ -201,12 +257,40 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
         loss_sum += slot_loss[s];
         for (Matrix& m : slot_grads[s]) m.zero();
       }
-      if (want_stats) grad_norm_sum += std::sqrt(grad_sumsq(model.gradients()));
+      if (want_norm) {
+        // Norm of the merged (unaveraged) batch gradient; telemetry
+        // reports the pre-clip value.
+        const double norm = std::sqrt(grad_sumsq(model.gradients()));
+        grad_norm_sum += norm;
+        if (opts.clip_grad > 0.0) {
+          const double avg_norm = norm / static_cast<double>(bsz);
+          if (std::isfinite(avg_norm) && avg_norm > opts.clip_grad) {
+            model.scale_gradients(opts.clip_grad / avg_norm);
+          }
+        }
+      }
       model.adam_step(bsz);
       ++num_batches;
     }
-    const double train_loss =
+    double train_loss =
         train.empty() ? 0.0 : loss_sum / static_cast<double>(train.size());
+    common::fault::poison("train.loss", train_loss);  // divergence drill hook
+
+    // Numeric guardrails (DESIGN.md §8): a NaN/Inf loss or gradient norm
+    // means the trajectory diverged. Rather than aborting hours of work,
+    // roll back to the best-so-far parameters, drop the NaN-poisoned Adam
+    // moments, decay the LR, and keep going — up to max_rollbacks times.
+    const bool diverged =
+        !std::isfinite(train_loss) || (want_norm && !std::isfinite(grad_norm_sum));
+    if (diverged) {
+      ++report.rollbacks;
+      MUXLINK_COUNTER_ADD("gnn.train.divergence_rollbacks", 1);
+      if (report.rollbacks > opts.max_rollbacks) break;  // keep best checkpoint
+      model.load_parameters(best);
+      model.reset_optimizer();
+      model.set_learning_rate(model.config().learning_rate * opts.rollback_lr_decay);
+      continue;  // the diverged epoch updates no best/telemetry/checkpoint
+    }
     const double val_acc = evaluate_accuracy(model, val);
     // Ties on validation accuracy (common with small validation sets) are
     // broken toward the lower training loss, so a lucky early epoch cannot
@@ -253,6 +337,37 @@ TrainReport train_link_predictor(Dgcnn& model, const std::vector<GraphSample>& s
       if (opts.on_epoch_stats) opts.on_epoch_stats(stats);
     }
     if (opts.on_epoch) opts.on_epoch(epoch, train_loss, val_acc);
+
+    // Crash-safe checkpoint: complete state, atomically replaced. Written
+    // at the cadence the caller asked for, and always on the final epoch
+    // so a finished run leaves a loadable artifact.
+    if (!opts.checkpoint_path.empty() &&
+        (epoch % std::max(1, opts.checkpoint_every) == 0 || epoch == opts.epochs)) {
+      TrainerCheckpoint ckpt;
+      ckpt.seed = opts.seed;
+      ckpt.total_epochs = opts.epochs;
+      ckpt.epoch = epoch;
+      ckpt.learning_rate = model.config().learning_rate;
+      ckpt.rollbacks = report.rollbacks;
+      ckpt.best_epoch = best_epoch;
+      ckpt.best_val_accuracy = best_acc;
+      ckpt.best_train_loss = best_loss;
+      std::ostringstream rng_out;
+      rng_out << rng;
+      ckpt.rng_state = rng_out.str();
+      ckpt.params = model.save_parameters();
+      ckpt.best_params = best;
+      auto opt_state = model.optimizer_state();
+      ckpt.adam_t = opt_state.t;
+      ckpt.adam_m = std::move(opt_state.m);
+      ckpt.adam_v = std::move(opt_state.v);
+      save_checkpoint_file(ckpt, opts.checkpoint_path);
+      MUXLINK_COUNTER_ADD("gnn.train.checkpoints", 1);
+    }
+    // Kill-and-resume drill site: fires AFTER the epoch's checkpoint (if
+    // any) has landed, so `train.epoch:k` simulates a crash with exactly k
+    // completed epochs on disk.
+    MUXLINK_FAULT_POINT("train.epoch");
   }
 
   model.load_parameters(best);

@@ -37,6 +37,35 @@ struct TrainOptions {
   // Called after every epoch with (epoch, train_loss, val_accuracy).
   std::function<void(int, double, double)> on_epoch;
 
+  // --- numeric guardrails (DESIGN.md §8) ------------------------------
+  // Global-norm gradient clipping: when > 0, each batch's mean gradient is
+  // rescaled so its L2 norm never exceeds this. 0 disables clipping (and
+  // its per-batch norm computation).
+  double clip_grad = 0.0;
+  // Divergence handling: every epoch the train loss (and the gradient
+  // norm, whenever it is computed) is scanned for NaN/Inf. A diverged
+  // epoch rolls the model back to the best-so-far parameters, resets the
+  // Adam moments (they may be NaN-poisoned), and multiplies the learning
+  // rate by `rollback_lr_decay` — instead of aborting the run. After
+  // `max_rollbacks` rollbacks training stops early, keeping the best
+  // checkpoint so far.
+  int max_rollbacks = 3;
+  double rollback_lr_decay = 0.5;
+
+  // --- crash-safe checkpointing (DESIGN.md §8) ------------------------
+  // When non-empty, the complete trainer state is written atomically to
+  // this file every `checkpoint_every` epochs (and on the final epoch).
+  // Observational: a run with checkpointing on trains the same model as
+  // one with it off.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  // Restore from `checkpoint_path` and continue. A missing file starts
+  // training from scratch (first run / crash before the first write); a
+  // corrupt file or one whose seed/epoch budget differs from this run
+  // raises CheckpointError. Because the trainer is deterministic, a
+  // resumed run finishes bit-identical to an uninterrupted one.
+  bool resume = false;
+
   // Telemetry stream: when set, one JSONL record per epoch is appended
   // ({"model": telemetry_tag, "epoch": ..., "train_loss": ..., ...}).
   // Purely observational — enabling it never changes the trained model.
@@ -56,6 +85,8 @@ struct TrainReport {
   double final_train_loss = 0.0;
   std::size_t train_samples = 0;
   std::size_t val_samples = 0;
+  int rollbacks = 0;           // divergence rollbacks taken (guardrails)
+  int resumed_from_epoch = 0;  // 0 = fresh run; N = restored after epoch N
 };
 
 // Trains `model` on `samples` (split internally into train/validation) and

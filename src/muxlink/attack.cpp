@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 
+#include "common/fault.h"
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "gnn/encoding.h"
+#include "gnn/serialize.h"
 #include "graph/sampling.h"
 #include "graph/subgraph.h"
 #include "synth/synthesis.h"
@@ -109,6 +112,7 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
   result.training_links = train_set.size();
   result.sample_seconds = seconds_since(t_sample);
   MUXLINK_COUNTER_ADD("attack.training_links", static_cast<std::int64_t>(train_set.size()));
+  MUXLINK_FAULT_POINT("attack.sample.done");
 
   // (4) Train the DGCNN (or an ensemble of independently seeded models).
   // Models are constructed sequentially (deterministic init), then trained
@@ -134,6 +138,9 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
   if (!opts_.telemetry_path.empty()) {
     telemetry = std::make_unique<common::JsonlWriter>(opts_.telemetry_path);
   }
+  if (!opts_.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(opts_.checkpoint_dir);
+  }
   std::vector<gnn::TrainReport> reports(ensemble);
   {
     MUXLINK_TRACE("attack.train");
@@ -147,11 +154,32 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
                              topts.telemetry = telemetry.get();
                              topts.telemetry_tag =
                                  ensemble > 1 ? "model" + std::to_string(e) : "model";
+                             topts.clip_grad = opts_.clip_grad;
+                             topts.max_rollbacks = opts_.max_rollbacks;
+                             if (!opts_.checkpoint_dir.empty()) {
+                               topts.checkpoint_path =
+                                   (std::filesystem::path(opts_.checkpoint_dir) /
+                                    ("model" + std::to_string(e) + ".ckpt"))
+                                       .string();
+                               topts.checkpoint_every = opts_.checkpoint_every;
+                               topts.resume = opts_.resume;
+                             }
                              reports[e] = gnn::train_link_predictor(models[e], train_set, topts);
                            }
                          });
   }
   result.training = reports[0];
+  if (!opts_.model_out.empty()) {
+    for (int e = 0; e < ensemble; ++e) {
+      std::filesystem::path out(opts_.model_out);
+      if (ensemble > 1) {
+        out.replace_filename(out.stem().string() + "." + std::to_string(e) +
+                             out.extension().string());
+      }
+      gnn::save_model_file(models[e], out);
+    }
+  }
+  MUXLINK_FAULT_POINT("attack.train.done");
   result.sortpool_k = sortpool_k;
   result.feature_dim = feature_dim;
   result.train_seconds = seconds_since(t_train);
@@ -185,6 +213,7 @@ MuxLinkResult MuxLinkAttack::run(const Netlist& locked) {
   }
   result.score_seconds = seconds_since(t_score);
   result.threads = static_cast<int>(common::num_threads());
+  MUXLINK_FAULT_POINT("attack.score.done");
 
   // (6) Post-processing.
   {

@@ -50,6 +50,26 @@ struct MuxLinkOptions {
   // record per epoch per ensemble member (DESIGN.md §7). Observational
   // only: the trained models and the key are identical with or without it.
   std::string telemetry_path;
+
+  // --- fault tolerance (DESIGN.md §8) ---------------------------------
+  // When non-empty, each ensemble member writes a crash-safe checkpoint
+  // (model + Adam moments + RNG/epoch cursor) to
+  // `<checkpoint_dir>/model<e>.ckpt` every `checkpoint_every` epochs. The
+  // directory is created if missing.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  // Restore training from the checkpoints in `checkpoint_dir` and finish
+  // bit-identical to an uninterrupted run. Missing checkpoints (crash
+  // before the first write) start from scratch; corrupt ones raise
+  // gnn::CheckpointError.
+  bool resume = false;
+  // Numeric guardrails forwarded to the trainer: global-norm gradient
+  // clipping (0 = off) and the divergence-rollback budget.
+  double clip_grad = 0.0;
+  int max_rollbacks = 3;
+  // When non-empty, the trained model is saved here (gnn/serialize.h
+  // format; ensemble members append ".<e>" before the extension).
+  std::string model_out;
 };
 
 // Likelihood bookkeeping for one traced key MUX: the two candidate links

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "netlist/analysis.h"
 
 namespace muxlink::netlist {
@@ -58,6 +59,12 @@ Netlist parse_bench(std::string_view text, std::string name) {
   Netlist nl(std::move(name));
   std::vector<PendingGate> pending;
   std::vector<std::pair<std::string, int>> output_names;
+  std::unordered_map<std::string, int> output_first_line;
+
+  // Real-world corpus quirks accepted up front: a UTF-8 BOM prefix (files
+  // exported from Windows editors) is skipped; CRLF line endings and a
+  // final `#` comment with no trailing newline fall out of trim()/getline.
+  if (text.starts_with("\xEF\xBB\xBF")) text.remove_prefix(3);
 
   std::istringstream in{std::string(text)};
   std::string raw;
@@ -80,8 +87,16 @@ Netlist parse_bench(std::string_view text, std::string name) {
       for (char c : func) upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
       if (operands.size() != 1) fail(line_no, "INPUT/OUTPUT takes exactly one name");
       if (upper == "INPUT") {
+        if (nl.contains(operands[0])) {
+          fail(line_no, "duplicate INPUT declaration of '" + operands[0] + "'");
+        }
         nl.add_input(operands[0]);
       } else if (upper == "OUTPUT") {
+        const auto [it, inserted] = output_first_line.emplace(operands[0], line_no);
+        if (!inserted) {
+          fail(line_no, "duplicate OUTPUT declaration of '" + operands[0] +
+                            "' (first declared at line " + std::to_string(it->second) + ")");
+        }
         output_names.emplace_back(operands[0], line_no);
       } else {
         fail(line_no, "unknown directive '" + std::string(func) + "'");
@@ -158,6 +173,7 @@ Netlist parse_bench(std::string_view text, std::string name) {
 }
 
 Netlist read_bench_file(const std::filesystem::path& path) {
+  MUXLINK_FAULT_POINT("io.read_bench");
   std::ifstream in(path);
   if (!in) throw BenchParseError("cannot open '" + path.string() + "'");
   std::ostringstream buf;

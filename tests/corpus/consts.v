@@ -1,0 +1,8 @@
+/* block comment, constants, assigns, escaped identifier */
+module consts (x, \out$1 );
+  input x;
+  output \out$1 ;
+  wire t;
+  assign t = 1'b1;
+  xor g0 (\out$1 , x, t);
+endmodule

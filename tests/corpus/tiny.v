@@ -1,0 +1,12 @@
+// minimal structural-Verilog corpus seed
+module tiny (a, b, sel, y);
+  input a;
+  input b;
+  input sel;
+  output y;
+  wire na;
+  wire m;
+  not n0 (na, a);
+  mux m0 (m, sel, na, b);
+  buf b0 (y, m);
+endmodule

@@ -452,6 +452,52 @@ TEST(BenchIO, RejectsInputOnAssignment) {
   EXPECT_THROW(parse_bench("x = INPUT()\n"), BenchParseError);
 }
 
+TEST(BenchIO, HandlesCrlfLineEndings) {
+  // Windows-authored benchmark files reach the parser unconverted.
+  const Netlist nl = parse_bench("INPUT(a)\r\nOUTPUT(y)\r\ny = NOT(a)\r\n");
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::kNot);
+}
+
+TEST(BenchIO, StripsUtf8ByteOrderMark) {
+  const Netlist nl = parse_bench("\xEF\xBB\xBFINPUT(a)\nOUTPUT(a)\n");
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_TRUE(nl.is_output(nl.find("a")));
+  // The BOM is only accepted at the start of the file, not mid-stream.
+  EXPECT_THROW(parse_bench("INPUT(a)\n\xEF\xBB\xBFOUTPUT(a)\n"), BenchParseError);
+}
+
+TEST(BenchIO, HandlesCommentAtEofWithoutNewline) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(a)\n# trailing comment, no newline");
+  EXPECT_EQ(nl.num_gates(), 1u);
+  // Same for a directive as the unterminated last line.
+  const Netlist nl2 = parse_bench("INPUT(a)\nOUTPUT(a)");
+  EXPECT_TRUE(nl2.is_output(nl2.find("a")));
+}
+
+TEST(BenchIO, DuplicateOutputReportsBothLines) {
+  try {
+    parse_bench("INPUT(a)\nOUTPUT(a)\n\nOUTPUT(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate OUTPUT declaration of 'a'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("first declared at line 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchIO, DuplicateInputReportsLine) {
+  try {
+    parse_bench("INPUT(a)\nINPUT(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate INPUT declaration of 'a'"), std::string::npos) << msg;
+  }
+}
+
 TEST(BenchIO, FileRoundTrip) {
   const Netlist nl = parse_bench(kC17, "c17");
   const auto path = std::filesystem::temp_directory_path() / "muxlink_c17.bench";

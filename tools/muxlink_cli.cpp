@@ -11,11 +11,19 @@
 //                  [--report run.json] [--telemetry epochs.jsonl]
 //                  [--truth-key key.txt|BITS] [--orig orig.bench]
 //                  [--scheme LABEL] [--patterns N]
+//                  [--checkpoint-dir D] [--checkpoint-every N] [--resume]
+//                  [--clip-grad X] [--save-model model.txt]
 //   muxlink saam <locked.bench>
 //   muxlink scope <locked.bench>
 //   muxlink hd <a.bench> <b.bench> [--patterns N] [--key BITSTRING]
 //
-// Exit code 0 on success, 1 on CLI misuse, 2 on processing errors.
+// Exit-code taxonomy (DESIGN.md §8):
+//   0 success
+//   1 CLI misuse (unknown flag, bad argument)
+//   2 other processing errors
+//   3 input parse/validation errors (BENCH / Verilog / netlist)
+//   4 model-file format errors (bad magic/version, CRC mismatch, truncation)
+//   5 checkpoint errors (corrupt/torn/incompatible --resume state)
 #include <cctype>
 #include <fstream>
 #include <iostream>
@@ -27,6 +35,8 @@
 #include "attacks/saam.h"
 #include "common/run_manifest.h"
 #include "common/thread_pool.h"
+#include "gnn/checkpoint.h"
+#include "gnn/serialize.h"
 #include "circuitgen/suites.h"
 #include "locking/mux_lock.h"
 #include "locking/trll.h"
@@ -83,6 +93,12 @@ commands:
                          report (averaged over completions of X bits)
        [--patterns N]    simulation patterns for --orig HD (default 10000)
        [--scheme LABEL]  locking-scheme label recorded in the report
+       [--checkpoint-dir D]    write crash-safe training checkpoints into D
+       [--checkpoint-every N]  epochs between checkpoint writes (default 1)
+       [--resume]        restore training from --checkpoint-dir and finish
+                         bit-identical to an uninterrupted run
+       [--clip-grad X]   clip each batch's mean gradient to L2 norm <= X
+       [--save-model F]  save the trained DGCNN (CRC-guarded text format)
   saam <locked.bench>                          structural SAAM attack
   scope <locked.bench>                         unsupervised SCOPE attack
   hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
@@ -223,7 +239,8 @@ double report_hd_percent(const netlist::Netlist& orig, const netlist::Netlist& r
 int cmd_attack(const CliArgs& args) {
   args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover",
                    "threads", "report", "telemetry", "truth-key", "orig", "scheme",
-                   "patterns"});
+                   "patterns", "checkpoint-dir", "checkpoint-every", "resume", "clip-grad",
+                   "save-model"});
   if (args.positional().size() != 1) return usage();
   if (const long t = args.get_long("threads", 0); t > 0) {
     common::set_num_threads(static_cast<std::size_t>(t));
@@ -237,6 +254,14 @@ int cmd_attack(const CliArgs& args) {
   opts.max_train_links = static_cast<std::size_t>(args.get_long("links", 100000));
   opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   opts.telemetry_path = args.get_or("telemetry", "");
+  opts.checkpoint_dir = args.get_or("checkpoint-dir", "");
+  opts.checkpoint_every = static_cast<int>(args.get_long("checkpoint-every", 1));
+  opts.resume = args.has("resume");
+  opts.clip_grad = args.get_double("clip-grad", 0.0);
+  opts.model_out = args.get_or("save-model", "");
+  if (opts.resume && opts.checkpoint_dir.empty()) {
+    throw std::invalid_argument("--resume requires --checkpoint-dir");
+  }
   core::MuxLinkAttack attack(opts);
   const auto result = attack.run(locked);
   std::cout << "deciphered key = " << render_key(result.key) << "\n";
@@ -244,6 +269,13 @@ int cmd_attack(const CliArgs& args) {
             << result.training.best_val_accuracy << "), " << result.total_seconds << "s total\n";
   std::cout << "stages: sample " << result.sample_seconds << "s, train " << result.train_seconds
             << "s, score " << result.score_seconds << "s (" << result.threads << " threads)\n";
+  if (result.training.resumed_from_epoch > 0) {
+    std::cout << "resumed from checkpoint at epoch " << result.training.resumed_from_epoch
+              << "\n";
+  }
+  if (result.training.rollbacks > 0) {
+    std::cout << "divergence rollbacks: " << result.training.rollbacks << "\n";
+  }
   if (const auto key_out = args.get("key-out")) write_text(*key_out, render_key(result.key) + "\n");
 
   std::optional<attacks::KeyPredictionScore> score;
@@ -305,6 +337,8 @@ int cmd_attack(const CliArgs& args) {
     extra["sortpool_k"] = result.sortpool_k;
     extra["feature_dim"] = result.feature_dim;
     extra["deciphered_key"] = render_key(result.key);
+    extra["rollbacks"] = result.training.rollbacks;
+    extra["resumed_from_epoch"] = result.training.resumed_from_epoch;
     m.extra = std::move(extra);
     m.observability = common::observability_to_json();
     write_text(*report, m.to_json().dump_pretty() + "\n");
@@ -365,6 +399,15 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  } catch (const gnn::ModelFormatError& e) {
+    std::cerr << "model format error: " << e.what() << "\n";
+    return 4;
+  } catch (const gnn::CheckpointError& e) {
+    std::cerr << "checkpoint error: " << e.what() << "\n";
+    return 5;
+  } catch (const netlist::NetlistError& e) {  // BENCH/Verilog parse included
+    std::cerr << "input error: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
