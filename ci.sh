@@ -8,6 +8,9 @@
 #   ./ci.sh san      # sanitizer build + ctest only
 #   ./ci.sh docs     # report pipeline + manifest validation + Markdown links
 #   ./ci.sh faults   # kill-and-resume e2e + netlist fuzz smoke (sanitized)
+#   ./ci.sh simd     # GNN suites under MUXLINK_SIMD=scalar and =avx2, plus
+#                    # an ASan+UBSan pass over the vectorized kernels; the
+#                    # avx2 leg skips gracefully on hosts without AVX2+FMA
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -124,12 +127,67 @@ run_faults() {
   rm -rf "$d"
 }
 
+run_simd() {
+  echo "== simd: kernel dispatch gates (scalar + avx2, sanitized) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" \
+    --target test_simd test_gnn test_layout test_parallel_determinism bench_kernels
+
+  # Keeps the stage readable: gtest output only surfaces on failure.
+  quiet() {
+    local log rc=0
+    log="$(mktemp)"
+    "$@" >"$log" 2>&1 || rc=$?
+    [ "$rc" -ne 0 ] && cat "$log" >&2
+    rm -f "$log"
+    return "$rc"
+  }
+
+  local suites=(test_simd test_gnn test_layout test_parallel_determinism)
+  local t
+  # The GNN suites must pass with dispatch forced to the scalar oracle...
+  for t in "${suites[@]}"; do
+    echo "simd: $t (MUXLINK_SIMD=scalar)"
+    MUXLINK_SIMD=scalar quiet "build/tests/$t"
+  done
+
+  # ...and, where host and build support it, with the AVX2 table forced on.
+  # --min-ms 0 makes the probe run single-iteration timings (instant); only
+  # the resolved ISA in its manifest matters here, not the floors.
+  local probe
+  probe="$(MUXLINK_SIMD=avx2 build/tools/bench_kernels --min-ms 0 2>/dev/null || true)"
+  local simd_env=scalar
+  if printf '%s' "$probe" | grep -q '"simd_isa":"avx2"'; then
+    simd_env=avx2
+    for t in "${suites[@]}"; do
+      echo "simd: $t (MUXLINK_SIMD=avx2)"
+      MUXLINK_SIMD=avx2 quiet "build/tests/$t"
+    done
+  else
+    echo "simd: host or build lacks AVX2+FMA; skipping the avx2 leg"
+  fi
+
+  # Sanitized pass over the kernel layer — in the vectorized config when the
+  # host allows it (padded-tail loads/stores are exactly what ASan would
+  # catch overrunning), scalar otherwise so the dispatch layer stays covered.
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs" --target test_simd
+  echo "simd: test_simd sanitized (MUXLINK_SIMD=$simd_env)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  MUXLINK_SIMD="$simd_env" quiet build-san/tests/test_simd
+}
+
 case "$stage" in
   tier1)  run_tier1 ;;
   san)    run_san ;;
   docs)   run_docs ;;
   faults) run_faults ;;
-  all)    run_tier1; run_san; run_docs; run_faults ;;
-  *) echo "usage: $0 [tier1|san|docs|faults|all]" >&2; exit 64 ;;
+  simd)   run_simd ;;
+  all)    run_tier1; run_san; run_docs; run_faults; run_simd ;;
+  *) echo "usage: $0 [tier1|san|docs|faults|simd|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

@@ -1,0 +1,78 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace muxlink::common {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports runs CPUID once and caches; it also checks the
+  // OS has enabled the YMM state (XGETBV), so a "yes" here is safe to use.
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+#endif
+  f.hardware_threads = std::thread::hardware_concurrency();
+#if defined(_SC_LEVEL1_DCACHE_LINESIZE)
+  if (const long line = ::sysconf(_SC_LEVEL1_DCACHE_LINESIZE); line > 0) {
+    f.cache_line_bytes = static_cast<int>(line);
+  }
+#endif
+  return f;
+}
+
+SimdMode env_mode() {
+  const char* env = std::getenv("MUXLINK_SIMD");
+  if (env == nullptr || *env == '\0') return SimdMode::kAuto;
+  return parse_simd_mode(env);  // invalid values fail loudly, not as "auto"
+}
+
+// Relaxed is enough: the mode is set before training starts and the worker
+// threads only ever read it through gnn::kernels().
+std::atomic<SimdMode>& mode_cell() {
+  static std::atomic<SimdMode> mode{env_mode()};
+  return mode;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+SimdMode parse_simd_mode(const std::string& text) {
+  if (text == "auto") return SimdMode::kAuto;
+  if (text == "avx2") return SimdMode::kAvx2;
+  if (text == "scalar") return SimdMode::kScalar;
+  throw std::invalid_argument("invalid SIMD mode '" + text + "' (expected auto|avx2|scalar)");
+}
+
+const char* to_string(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto: return "auto";
+    case SimdMode::kAvx2: return "avx2";
+    case SimdMode::kScalar: return "scalar";
+  }
+  return "auto";
+}
+
+SimdMode simd_mode() { return mode_cell().load(std::memory_order_relaxed); }
+
+void set_simd_mode(SimdMode mode) {
+  if (mode == SimdMode::kAvx2 && !(cpu_features().avx2 && cpu_features().fma)) {
+    throw std::runtime_error("SIMD mode 'avx2' requested but this CPU lacks AVX2+FMA");
+  }
+  mode_cell().store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace muxlink::common

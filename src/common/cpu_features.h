@@ -1,0 +1,45 @@
+// Runtime CPU feature detection and the process-wide SIMD dispatch mode.
+//
+// The GNN hot path (gnn/simd.h) ships an AVX2+FMA kernel set next to the
+// scalar one; which set runs is decided from three inputs in priority order:
+//
+//   1. set_simd_mode() — the `--simd {auto,avx2,scalar}` CLI flag / tests;
+//   2. the MUXLINK_SIMD environment variable (same values), read lazily on
+//      first use;
+//   3. kAuto: use AVX2 iff the CPU reports both AVX2 and FMA.
+//
+// Requesting avx2 on hardware that lacks it throws std::runtime_error
+// instead of silently degrading — a benchmark or CI gate that asked for the
+// vectorized configuration must not quietly measure the scalar one. The
+// final dispatch (which also needs the AVX2 translation unit to be compiled
+// in) is owned by gnn::kernels(); this header only answers "what was
+// requested" and "what can the hardware do".
+#pragma once
+
+#include <string>
+
+namespace muxlink::common {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  unsigned hardware_threads = 0;  // std::thread::hardware_concurrency
+  int cache_line_bytes = 64;      // L1D line size (64 when undetectable)
+};
+
+// Detected once per process (CPUID via compiler builtins on x86).
+const CpuFeatures& cpu_features();
+
+enum class SimdMode { kAuto, kAvx2, kScalar };
+
+// Parses "auto" / "avx2" / "scalar"; throws std::invalid_argument otherwise.
+SimdMode parse_simd_mode(const std::string& text);
+const char* to_string(SimdMode mode);
+
+// Currently requested mode (env-initialized on first call; kAuto when the
+// variable is unset). set_simd_mode overrides it for the rest of the
+// process; passing kAvx2 on a CPU without AVX2+FMA throws std::runtime_error.
+SimdMode simd_mode();
+void set_simd_mode(SimdMode mode);
+
+}  // namespace muxlink::common

@@ -32,7 +32,12 @@ void put_tensors(std::string& out, const std::vector<Matrix>& tensors) {
   for (const Matrix& m : tensors) {
     put<std::int32_t>(out, m.rows);
     put<std::int32_t>(out, m.cols);
-    out.append(reinterpret_cast<const char*>(m.data.data()), m.data.size() * sizeof(double));
+    // Row by logical row: the MXCKPT1 payload stores rows*cols doubles, not
+    // the SIMD-padded rows*ld storage (matrix.h).
+    for (int r = 0; r < m.rows; ++r) {
+      out.append(reinterpret_cast<const char*>(m.row(r)),
+                 static_cast<std::size_t>(m.cols) * sizeof(double));
+    }
   }
 }
 
@@ -82,8 +87,11 @@ std::vector<Matrix> get_tensors(Cursor& cur, std::uint32_t count) {
                             std::to_string(rows) + "x" + std::to_string(cols));
     }
     Matrix m(rows, cols);
-    const std::string raw = cur.get_bytes(m.data.size() * sizeof(double));
-    std::memcpy(m.data.data(), raw.data(), raw.size());
+    const std::size_t row_bytes = static_cast<std::size_t>(cols) * sizeof(double);
+    const std::string raw = cur.get_bytes(static_cast<std::size_t>(rows) * row_bytes);
+    for (int r = 0; r < rows; ++r) {
+      std::memcpy(m.row(r), raw.data() + static_cast<std::size_t>(r) * row_bytes, row_bytes);
+    }
     tensors.push_back(std::move(m));
   }
   return tensors;

@@ -5,43 +5,18 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "gnn/simd.h"
+
 namespace muxlink::gnn {
 
-// out = D^-1 (A+I) H  with row-normalization over {i} ∪ N(i). Walks the
-// sample's CSR neighbor array front to back (one contiguous stream) and uses
-// the precomputed inverse degrees; neighbor order and per-row summation
-// order are unchanged, so results are bit-identical to the per-node-list
-// implementation this replaced.
+// Dispatch wrappers kept for the public dgcnn.h API (tests and benches call
+// these directly); the implementations live in the kernel tables (simd.h).
 void propagate(const GraphSample& s, const Matrix& h, Matrix& out) {
-  out.resize_uninit(h.rows, h.cols);
-  for (int i = 0; i < h.rows; ++i) {
-    double* oi = out.row(i);
-    const double* hi = h.row(i);
-    for (int c = 0; c < h.cols; ++c) oi[c] = hi[c];
-    for (int j : s.neighbors(i)) {
-      const double* hj = h.row(j);
-      for (int c = 0; c < h.cols; ++c) oi[c] += hj[c];
-    }
-    const double inv = s.inv_deg[i];
-    for (int c = 0; c < h.cols; ++c) oi[c] *= inv;
-  }
+  kernels().propagate(s, h, out);
 }
 
-// out = (D^-1 (A+I))^T G: column j gathers inv_deg(i) * G_i over i ∈ {j} ∪ N(j)
-// (adjacency is symmetric, so N is its own transpose).
 void propagate_transpose(const GraphSample& s, const Matrix& g, Matrix& out) {
-  out.resize_uninit(g.rows, g.cols);
-  for (int j = 0; j < g.rows; ++j) {
-    double* oj = out.row(j);
-    const double* gj = g.row(j);
-    const double invj = s.inv_deg[j];
-    for (int c = 0; c < g.cols; ++c) oj[c] = invj * gj[c];
-    for (int i : s.neighbors(j)) {
-      const double* gi = g.row(i);
-      const double invi = s.inv_deg[i];
-      for (int c = 0; c < g.cols; ++c) oj[c] += invi * gi[c];
-    }
-  }
+  kernels().propagate_transpose(s, g, out);
 }
 
 // Per-thread scratch: every tensor is resized (capacity-reusing) instead of
@@ -124,15 +99,17 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
   }
   const int n = g.x.rows;
   const int L = static_cast<int>(cfg_.conv_channels.size());
+  const KernelTable& kn = kernels();
 
   // Graph convolutions.
   ws.u.resize(L);
   ws.h.resize(L);
   const Matrix* z = &g.x;
   for (int l = 0; l < L; ++l) {
-    propagate(g, *z, ws.u[l]);
-    matmul(ws.u[l], params_[w_conv_[l]], ws.h[l]);
-    for (double& x : ws.h[l].data) x = std::tanh(x);
+    kn.propagate(g, *z, ws.u[l]);
+    kn.matmul(ws.u[l], params_[w_conv_[l]], ws.h[l]);
+    // Whole padded buffer: tanh(0) == 0 keeps the pad lanes zero.
+    kn.tanh_inplace(ws.h[l].data.data(), ws.h[l].data.size());
     z = &ws.h[l];
   }
 
@@ -160,16 +137,16 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
     }
   }
 
-  // 1-D conv #1: per-frame dense over the cat_dim-wide rows.
+  // 1-D conv #1: per-frame dense over the cat_dim-wide rows. dot_acc chains
+  // from the bias in ascending j — the scalar table reproduces the pre-SIMD
+  // accumulation exactly.
   const Matrix& kk1 = params_[k1_];
   const Matrix& bb1 = params_[b1_];
   ws.c1.resize_uninit(k, cfg_.conv1d_channels1);  // every frame is written below
   for (int t = 0; t < k; ++t) {
+    const double* sr = ws.s.row(t);
     for (int c = 0; c < cfg_.conv1d_channels1; ++c) {
-      double acc = bb1.at(0, c);
-      const double* w = kk1.row(c);
-      const double* sr = ws.s.row(t);
-      for (int j = 0; j < cat_dim_; ++j) acc += w[j] * sr[j];
+      const double acc = kn.dot_acc(bb1.at(0, c), kk1.row(c), sr, cat_dim_);
       ws.c1.at(t, c) = acc > 0.0 ? acc : 0.0;
     }
   }
@@ -187,34 +164,49 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
     }
   }
 
-  // 1-D conv #2 (kernel over frames).
+  // 1-D conv #2 (kernel over frames). When channels1 is a multiple of the
+  // SIMD lane count the pooled rows are contiguous (ld == cols), so the
+  // whole kernel2 × channels1 window is ONE packed dot against the
+  // row-major weight row; otherwise fall back to chaining one dot per frame.
+  // Both paths accumulate in the identical wi/element order as the original
+  // nested loop.
   const Matrix& kk2 = params_[k2_];
   const Matrix& bb2 = params_[b2_];
+  const bool m_packed = ws.m.ld == ws.m.cols;
+  const int window = cfg_.conv1d_kernel2 * cfg_.conv1d_channels1;
   ws.c2.resize_uninit(conv2_len_, cfg_.conv1d_channels2);
   for (int t = 0; t < conv2_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
-      double acc = bb2.at(0, c);
       const double* w = kk2.row(c);
-      int wi = 0;
-      for (int dt = 0; dt < cfg_.conv1d_kernel2; ++dt) {
-        const double* mr = ws.m.row(t + dt);
-        for (int ic = 0; ic < cfg_.conv1d_channels1; ++ic) acc += w[wi++] * mr[ic];
+      double acc;
+      if (m_packed) {
+        acc = kn.dot_acc(bb2.at(0, c), w, ws.m.row(t), window);
+      } else {
+        acc = bb2.at(0, c);
+        for (int dt = 0; dt < cfg_.conv1d_kernel2; ++dt) {
+          acc = kn.dot_acc(acc, w + dt * cfg_.conv1d_channels1, ws.m.row(t + dt),
+                           cfg_.conv1d_channels1);
+        }
       }
       ws.c2.at(t, c) = acc > 0.0 ? acc : 0.0;
     }
   }
 
-  // Flatten + dense 128 + ReLU + dropout.
-  ws.f.assign(ws.c2.data.begin(), ws.c2.data.end());
+  // Flatten (logical elements only — c2 may carry pad lanes) + dense 128 +
+  // ReLU + dropout.
+  ws.f.resize(static_cast<std::size_t>(conv2_len_) * cfg_.conv1d_channels2);
+  for (int t = 0; t < conv2_len_; ++t) {
+    const double* cr = ws.c2.row(t);
+    double* fr = ws.f.data() + static_cast<std::size_t>(t) * cfg_.conv1d_channels2;
+    for (int c = 0; c < cfg_.conv1d_channels2; ++c) fr[c] = cr[c];
+  }
   const Matrix& ww5 = params_[w5_];
   const Matrix& bb5 = params_[b5_];
   ws.hid.assign(cfg_.dense_units, 0.0);
   ws.mask.assign(cfg_.dense_units, 1.0);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   for (int u = 0; u < cfg_.dense_units; ++u) {
-    double acc = bb5.at(0, u);
-    const double* w = ww5.row(u);
-    for (std::size_t j = 0; j < ws.f.size(); ++j) acc += w[j] * ws.f[j];
+    double acc = kn.dot_acc(bb5.at(0, u), ww5.row(u), ws.f.data(), ws.f.size());
     acc = acc > 0.0 ? acc : 0.0;
     if (training && cfg_.dropout > 0.0 && rng != nullptr) {
       if (unit(*rng) < cfg_.dropout) {
@@ -233,10 +225,7 @@ double Dgcnn::forward(const GraphSample& g, bool training, Workspace& ws,
   const Matrix& bb6 = params_[b6_];
   double logits[2];
   for (int c = 0; c < 2; ++c) {
-    double acc = bb6.at(0, c);
-    const double* w = ww6.row(c);
-    for (int u = 0; u < cfg_.dense_units; ++u) acc += w[u] * ws.hid[u];
-    logits[c] = acc;
+    logits[c] = kn.dot_acc(bb6.at(0, c), ww6.row(c), ws.hid.data(), ws.hid.size());
   }
   const double mx = std::max(logits[0], logits[1]);
   const double e0 = std::exp(logits[0] - mx);
@@ -285,11 +274,12 @@ std::vector<Matrix> Dgcnn::make_gradient_buffers() const {
 
 void Dgcnn::add_gradients(const std::vector<Matrix>& grads) {
   if (grads.size() != grads_.size()) throw std::invalid_argument("add_gradients: mismatch");
+  const KernelTable& kn = kernels();
   for (std::size_t p = 0; p < grads.size(); ++p) {
     auto& dst = grads_[p].data;
     const auto& src = grads[p].data;
     if (src.size() != dst.size()) throw std::invalid_argument("add_gradients: shape mismatch");
-    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+    kn.add(dst.data(), src.data(), src.size());
   }
 }
 
@@ -297,6 +287,7 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
   const int L = static_cast<int>(cfg_.conv_channels.size());
   const int k = cfg_.sortpool_k;
   const int kept = static_cast<int>(ws.order.size());
+  const KernelTable& kn = kernels();
 
   // Softmax + cross-entropy gradient: d(loss)/d(logit_c) = p_c - onehot_c.
   double dlogits[2];
@@ -310,19 +301,15 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
   dhid.assign(cfg_.dense_units, 0.0);
   for (int c = 0; c < 2; ++c) {
     gb6.at(0, c) += dlogits[c];
-    double* gw = gw6.row(c);
-    const double* w = params_[w6_].row(c);
-    for (int u = 0; u < cfg_.dense_units; ++u) {
-      gw[u] += dlogits[c] * ws.hid[u];
-      dhid[u] += dlogits[c] * w[u];
-    }
+    // The weight-grad and input-grad updates touch disjoint arrays, so the
+    // fused pre-SIMD loop splits into two axpys with unchanged results.
+    kn.axpy(dlogits[c], ws.hid.data(), gw6.row(c), ws.hid.size());
+    kn.axpy(dlogits[c], params_[w6_].row(c), dhid.data(), dhid.size());
   }
 
   // Dropout + ReLU of dense 1. ws.hid is post-dropout; a unit is active iff
   // hid > 0 (masked units are exactly 0, and ReLU zeros negatives).
-  for (int u = 0; u < cfg_.dense_units; ++u) {
-    dhid[u] = ws.hid[u] > 0.0 ? dhid[u] * ws.mask[u] : 0.0;
-  }
+  kn.relu_dropout_backward(dhid.data(), ws.hid.data(), ws.mask.data(), dhid.size());
 
   // Dense 1.
   Matrix& gw5 = grads[w5_];
@@ -332,19 +319,19 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
   for (int u = 0; u < cfg_.dense_units; ++u) {
     if (dhid[u] == 0.0) continue;
     gb5.at(0, u) += dhid[u];
-    double* gw = gw5.row(u);
-    const double* w = params_[w5_].row(u);
-    for (std::size_t j = 0; j < ws.f.size(); ++j) {
-      gw[j] += dhid[u] * ws.f[j];
-      df[j] += dhid[u] * w[j];
-    }
+    kn.axpy(dhid[u], ws.f.data(), gw5.row(u), ws.f.size());
+    kn.axpy(dhid[u], params_[w5_].row(u), df.data(), df.size());
   }
 
-  // Conv2 (df is dC2 post-ReLU, flattened row-major).
+  // Conv2 (df is dC2 post-ReLU, flattened row-major). Same packed-window
+  // trick as the forward pass: with contiguous pooled rows the weight-grad
+  // and input-grad updates are each ONE axpy over the whole window.
   Matrix& dm = ws.dm;
   dm.resize(pooled_len_, cfg_.conv1d_channels1);
   Matrix& gk2 = grads[k2_];
   Matrix& gb2 = grads[b2_];
+  const bool dm_packed = ws.m.ld == ws.m.cols && dm.ld == dm.cols;
+  const int window2 = cfg_.conv1d_kernel2 * cfg_.conv1d_channels1;
   for (int t = 0; t < conv2_len_; ++t) {
     for (int c = 0; c < cfg_.conv1d_channels2; ++c) {
       const double out = ws.c2.at(t, c);
@@ -353,14 +340,14 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
       gb2.at(0, c) += d;
       double* gw = gk2.row(c);
       const double* w = params_[k2_].row(c);
-      int wi = 0;
-      for (int dt = 0; dt < cfg_.conv1d_kernel2; ++dt) {
-        const double* mr = ws.m.row(t + dt);
-        double* dmr = dm.row(t + dt);
-        for (int ic = 0; ic < cfg_.conv1d_channels1; ++ic) {
-          gw[wi] += d * mr[ic];
-          dmr[ic] += d * w[wi];
-          ++wi;
+      if (dm_packed) {
+        kn.axpy(d, ws.m.row(t), gw, window2);
+        kn.axpy(d, w, dm.row(t), window2);
+      } else {
+        for (int dt = 0; dt < cfg_.conv1d_kernel2; ++dt) {
+          const int wi = dt * cfg_.conv1d_channels1;
+          kn.axpy(d, ws.m.row(t + dt), gw + wi, cfg_.conv1d_channels1);
+          kn.axpy(d, w + wi, dm.row(t + dt), cfg_.conv1d_channels1);
         }
       }
     }
@@ -387,14 +374,8 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
       double d = dc1.at(t, c);
       if (d == 0.0 || ws.c1.at(t, c) <= 0.0) continue;
       gb1.at(0, c) += d;
-      double* gw = gk1.row(c);
-      const double* w = params_[k1_].row(c);
-      const double* sr = ws.s.row(t);
-      double* dsr = ds.row(t);
-      for (int j = 0; j < cat_dim_; ++j) {
-        gw[j] += d * sr[j];
-        dsr[j] += d * w[j];
-      }
+      kn.axpy(d, ws.s.row(t), gk1.row(c), cat_dim_);
+      kn.axpy(d, params_[k1_].row(c), ds.row(t), cat_dim_);
     }
   }
 
@@ -417,38 +398,29 @@ void Dgcnn::backward(const GraphSample& g, Workspace& ws, std::vector<Matrix>& g
   // Graph convolutions, last to first: H_l = tanh(U_l W_l), U_l = P Z_{l-1}.
   for (int l = L - 1; l >= 0; --l) {
     Matrix& dhl = dh[l];
-    // tanh'
-    for (int i = 0; i < dhl.rows; ++i) {
-      double* dr = dhl.row(i);
-      const double* hr = ws.h[l].row(i);
-      for (int c = 0; c < dhl.cols; ++c) dr[c] *= 1.0 - hr[c] * hr[c];
-    }
-    matmul_at_b_accum(ws.u[l], dhl, grads[w_conv_[l]]);
+    // tanh' over the whole padded buffer (pads: 0 *= 1 stays 0).
+    kn.tanh_backward_inplace(dhl.data.data(), ws.h[l].data.data(), dhl.data.size());
+    kn.matmul_at_b_accum(ws.u[l], dhl, grads[w_conv_[l]]);
     if (l == 0) break;  // no gradient into the input features
-    matmul_a_bt(dhl, params_[w_conv_[l]], ws.du);
-    propagate_transpose(g, ws.du, ws.dz);
-    for (std::size_t i = 0; i < ws.dz.data.size(); ++i) dh[l - 1].data[i] += ws.dz.data[i];
+    kn.matmul_a_bt(dhl, params_[w_conv_[l]], ws.du);
+    kn.propagate_transpose(g, ws.du, ws.dz);
+    // Same shape → same padded layout; pads add 0 + 0.
+    kn.add(dh[l - 1].data.data(), ws.dz.data.data(), ws.dz.data.size());
   }
 }
 
 void Dgcnn::adam_step(std::size_t batch_size) {
-  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double b1 = 0.9, b2 = 0.999;
   ++adam_t_;
   const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
   const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
   const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
+  const KernelTable& kn = kernels();
   for (std::size_t p = 0; p < params_.size(); ++p) {
-    auto& w = params_[p].data;
-    auto& gv = grads_[p].data;
-    auto& m = adam_m_[p].data;
-    auto& v = adam_v_[p].data;
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      const double grad = gv[i] * scale;
-      m[i] = b1 * m[i] + (1.0 - b1) * grad;
-      v[i] = b2 * v[i] + (1.0 - b2) * grad * grad;
-      w[i] -= cfg_.learning_rate * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
-      gv[i] = 0.0;
-    }
+    // Whole padded buffers: zero grad/m/v leave the zero pad weights zero.
+    kn.adam_update(params_[p].data.data(), grads_[p].data.data(), adam_m_[p].data.data(),
+                   adam_v_[p].data.data(), params_[p].data.size(), cfg_.learning_rate, bc1, bc2,
+                   scale);
   }
 }
 
@@ -479,9 +451,8 @@ void Dgcnn::reset_optimizer() {
 }
 
 void Dgcnn::scale_gradients(double factor) {
-  for (Matrix& g : grads_) {
-    for (double& x : g.data) x *= factor;
-  }
+  const KernelTable& kn = kernels();
+  for (Matrix& g : grads_) kn.scale(g.data.data(), factor, g.data.size());
 }
 
 std::vector<Matrix> Dgcnn::save_parameters() const { return params_; }
@@ -499,7 +470,9 @@ void Dgcnn::load_parameters(const std::vector<Matrix>& params) {
 
 std::size_t Dgcnn::num_parameters() const {
   std::size_t n = 0;
-  for (const Matrix& p : params_) n += p.data.size();
+  for (const Matrix& p : params_) {
+    n += static_cast<std::size_t>(p.rows) * static_cast<std::size_t>(p.cols);
+  }
   return n;
 }
 

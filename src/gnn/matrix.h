@@ -3,76 +3,135 @@
 // involved (enclosing subgraphs, 32-channel layers) are small enough that
 // this is not the bottleneck.
 //
-// Kernel layout: the primary matmul/matmul_at_b_accum/matmul_a_bt kernels
-// are 4x4 register-blocked. Blocking changes only WHICH elements are in
-// flight together, never the accumulation order WITHIN an element: every
+// SIMD layout contract (DESIGN.md §10):
+//   * storage is 32-byte aligned (one AVX2 vector of 4 doubles);
+//   * each row starts at a 32-byte boundary: the leading dimension `ld` is
+//     `cols` rounded up to a multiple of kSimdLanes, so `data` holds
+//     rows × ld doubles, not rows × cols;
+//   * the pad lanes [cols, ld) of every row are ALWAYS zero. Kernels may
+//     therefore stream whole padded rows (and whole padded buffers for
+//     element-wise ops) without tail handling, provided they only write
+//     zeros into the pads. resize()/resize_uninit() re-establish the
+//     invariant; code that fills `data` directly must go through at()/row()
+//     or iterate logical columns only.
+//
+// Kernel layout: the scalar matmul/matmul_at_b_accum/matmul_a_bt kernels
+// below are 4x4 register-blocked. Blocking changes only WHICH elements are
+// in flight together, never the accumulation order WITHIN an element: every
 // output element is still a single accumulator summing its k-terms in
 // ascending k, exactly like the *_naive kernels retained below. The blocked
 // and naive kernels therefore produce bit-identical results (asserted by
 // randomized tests), and no -ffast-math style reassociation is involved.
+// The AVX2 variants (gnn/simd.h) relax this to tolerance-equivalence.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <random>
 #include <vector>
 
 namespace muxlink::gnn {
 
+inline constexpr int kSimdLanes = 4;          // doubles per 256-bit vector
+inline constexpr std::size_t kSimdAlign = 32; // bytes
+
+// Minimal over-aligned allocator so Matrix storage keeps std::vector
+// semantics (size, assign, comparison) while guaranteeing AVX2 alignment.
+template <typename T>
+struct SimdAllocator {
+  using value_type = T;
+  SimdAllocator() = default;
+  template <typename U>
+  SimdAllocator(const SimdAllocator<U>&) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{kSimdAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kSimdAlign});
+  }
+  friend bool operator==(const SimdAllocator&, const SimdAllocator&) { return true; }
+};
+
+using AlignedVec = std::vector<double, SimdAllocator<double>>;
+
 struct Matrix {
   int rows = 0;
   int cols = 0;
-  std::vector<double> data;
+  int ld = 0;  // row stride in doubles: cols rounded up to kSimdLanes
+  AlignedVec data;  // rows * ld doubles; pad lanes are always zero
+
+  static constexpr int padded_cols(int c) {
+    return (c + kSimdLanes - 1) / kSimdLanes * kSimdLanes;
+  }
 
   Matrix() = default;
-  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * c, 0.0) {}
+  Matrix(int r, int c)
+      : rows(r), cols(c), ld(padded_cols(c)),
+        data(static_cast<std::size_t>(r) * static_cast<std::size_t>(padded_cols(c)), 0.0) {}
 
   double& at(int r, int c) {
     assert(r >= 0 && r < rows && c >= 0 && c < cols);
-    return data[static_cast<std::size_t>(r) * cols + c];
+    return data[static_cast<std::size_t>(r) * ld + c];
   }
   double at(int r, int c) const {
     assert(r >= 0 && r < rows && c >= 0 && c < cols);
-    return data[static_cast<std::size_t>(r) * cols + c];
+    return data[static_cast<std::size_t>(r) * ld + c];
   }
-  double* row(int r) { return data.data() + static_cast<std::size_t>(r) * cols; }
-  const double* row(int r) const { return data.data() + static_cast<std::size_t>(r) * cols; }
+  double* row(int r) { return data.data() + static_cast<std::size_t>(r) * ld; }
+  const double* row(int r) const { return data.data() + static_cast<std::size_t>(r) * ld; }
 
   void zero() { std::fill(data.begin(), data.end(), 0.0); }
 
-  // Reshapes to r × c and zero-fills, reusing the existing allocation when
-  // capacity allows (vector::assign). The per-sample forward/backward path
-  // calls the matmul kernels thousands of times per epoch on same-shaped
-  // tensors; this keeps that path allocation-free after warm-up.
+  // Reshapes to r × c and zero-fills (pads included), reusing the existing
+  // allocation when capacity allows (vector::assign). The per-sample
+  // forward/backward path calls the matmul kernels thousands of times per
+  // epoch on same-shaped tensors; this keeps that path allocation-free
+  // after warm-up.
   void resize(int r, int c) {
     rows = r;
     cols = c;
-    data.assign(static_cast<std::size_t>(r) * c, 0.0);
+    ld = padded_cols(c);
+    data.assign(static_cast<std::size_t>(r) * ld, 0.0);
   }
 
-  // Reshapes to r × c WITHOUT clearing retained elements. For kernels that
-  // fully overwrite their output (matmul, matmul_a_bt, propagate) the zero
-  // fill in resize() is pure waste — on the steady-state same-shape path
-  // this is a pair of integer stores. Newly grown tail elements are still
-  // value-initialized by vector::resize; only the retained prefix is left
-  // as-is, so callers MUST write every element before reading.
+  // Reshapes to r × c WITHOUT clearing retained logical elements. For
+  // kernels that fully overwrite their output (matmul, matmul_a_bt,
+  // propagate) the zero fill in resize() is pure waste — on the steady-state
+  // same-shape path this is a pair of integer stores. Newly grown tail
+  // elements are still value-initialized by vector::resize, and the pad
+  // lanes are re-zeroed whenever the row layout has them (a reshape can move
+  // stale values into pad positions), so the pads-are-zero invariant holds;
+  // callers MUST write every logical element before reading.
   void resize_uninit(int r, int c) {
     rows = r;
     cols = c;
-    data.resize(static_cast<std::size_t>(r) * c);
+    ld = padded_cols(c);
+    data.resize(static_cast<std::size_t>(r) * ld);
+    if (ld != cols) {
+      for (int i = 0; i < r; ++i) {
+        double* p = row(i);
+        for (int j = cols; j < ld; ++j) p[j] = 0.0;
+      }
+    }
   }
 
-  // Glorot-uniform initialization.
+  // Glorot-uniform initialization. Draws exactly rows × cols variates in
+  // row-major logical order — the pad lanes consume no randomness (and stay
+  // zero), so initialization is bit-identical to the unpadded layout.
   void glorot(std::mt19937_64& rng) {
     const double limit = std::sqrt(6.0 / (rows + cols));
     std::uniform_real_distribution<double> u(-limit, limit);
-    for (double& x : data) x = u(rng);
+    for (int i = 0; i < rows; ++i) {
+      double* p = row(i);
+      for (int j = 0; j < cols; ++j) p[j] = u(rng);
+    }
   }
 };
 
 // --- naive reference kernels ------------------------------------------------
-// Retained as the correctness oracle for the blocked kernels (and for
-// tools/bench_kernels baselines). Do not optimize these.
+// Retained as the correctness oracle for the blocked and AVX2 kernels (and
+// for tools/bench_kernels baselines). Do not optimize these.
 
 // out = a * b.
 inline void matmul_naive(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -121,7 +180,9 @@ inline void matmul_a_bt_naive(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
-// --- blocked kernels --------------------------------------------------------
+// --- blocked scalar kernels -------------------------------------------------
+// The scalar half of the dispatched kernel set (gnn/simd.h); bit-identical
+// to the naive oracle above.
 
 inline constexpr int kMatBlock = 4;
 

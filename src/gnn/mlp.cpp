@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "gnn/simd.h"
+
 namespace muxlink::gnn {
 
 Mlp::Mlp(int input_dim, const MlpConfig& config)
@@ -39,15 +41,14 @@ double Mlp::forward(const std::vector<double>& x, bool training, Workspace& ws) 
   ws.mask.assign(layers + 1, {});
   ws.act[0] = x;
   std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const KernelTable& kn = kernels();
   for (std::size_t l = 0; l < layers; ++l) {
     const Matrix& w = params_[2 * l];
     const Matrix& b = params_[2 * l + 1];
     std::vector<double> out(static_cast<std::size_t>(dims_[l + 1]), 0.0);
     for (int o = 0; o < w.rows; ++o) {
-      double acc = b.at(0, o);
-      const double* wr = w.row(o);
-      for (int i = 0; i < w.cols; ++i) acc += wr[i] * ws.act[l][static_cast<std::size_t>(i)];
-      out[static_cast<std::size_t>(o)] = acc;
+      out[static_cast<std::size_t>(o)] =
+          kn.dot_acc(b.at(0, o), w.row(o), ws.act[l].data(), static_cast<std::size_t>(w.cols));
     }
     if (l + 1 < layers) {  // hidden: ReLU (+ dropout)
       ws.mask[l + 1].assign(out.size(), 1.0);
@@ -86,26 +87,22 @@ double Mlp::accumulate_gradients(const std::vector<double>& x, int label) {
 
   std::vector<double> delta{(1.0 - p1) - (label == 0 ? 1.0 : 0.0),
                             p1 - (label == 1 ? 1.0 : 0.0)};
+  const KernelTable& kn = kernels();
   for (std::size_t l = layers; l-- > 0;) {
     Matrix& gw = grads_[2 * l];
     Matrix& gb = grads_[2 * l + 1];
     const Matrix& w = params_[2 * l];
-    std::vector<double> dprev(static_cast<std::size_t>(dims_[l]), 0.0);
+    const std::size_t prev = static_cast<std::size_t>(dims_[l]);
+    std::vector<double> dprev(prev, 0.0);
     for (int o = 0; o < w.rows; ++o) {
       const double d = delta[static_cast<std::size_t>(o)];
       if (d == 0.0) continue;
       gb.at(0, o) += d;
-      double* gwr = gw.row(o);
-      const double* wr = w.row(o);
-      for (int i = 0; i < w.cols; ++i) {
-        gwr[i] += d * ws.act[l][static_cast<std::size_t>(i)];
-        dprev[static_cast<std::size_t>(i)] += d * wr[i];
-      }
+      kn.axpy(d, ws.act[l].data(), gw.row(o), prev);
+      kn.axpy(d, w.row(o), dprev.data(), prev);
     }
     if (l > 0) {  // through ReLU + dropout of the previous hidden layer
-      for (std::size_t i = 0; i < dprev.size(); ++i) {
-        dprev[i] = ws.act[l][i] > 0.0 ? dprev[i] * ws.mask[l][i] : 0.0;
-      }
+      kn.relu_dropout_backward(dprev.data(), ws.act[l].data(), ws.mask[l].data(), prev);
     }
     delta = std::move(dprev);
   }
@@ -114,23 +111,16 @@ double Mlp::accumulate_gradients(const std::vector<double>& x, int label) {
 }
 
 void Mlp::adam_step(std::size_t batch_size) {
-  const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  const double b1 = 0.9, b2 = 0.999;
   ++adam_t_;
   const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
   const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
   const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
+  const KernelTable& kn = kernels();
   for (std::size_t p = 0; p < params_.size(); ++p) {
-    auto& w = params_[p].data;
-    auto& g = grads_[p].data;
-    auto& m = adam_m_[p].data;
-    auto& v = adam_v_[p].data;
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      const double grad = g[i] * scale;
-      m[i] = b1 * m[i] + (1.0 - b1) * grad;
-      v[i] = b2 * v[i] + (1.0 - b2) * grad * grad;
-      w[i] -= cfg_.learning_rate * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
-      g[i] = 0.0;
-    }
+    kn.adam_update(params_[p].data.data(), grads_[p].data.data(), adam_m_[p].data.data(),
+                   adam_v_[p].data.data(), params_[p].data.size(), cfg_.learning_rate, bc1, bc2,
+                   scale);
   }
 }
 
@@ -141,7 +131,9 @@ void Mlp::load_parameters(const std::vector<Matrix>& p) {
 
 std::size_t Mlp::num_parameters() const {
   std::size_t n = 0;
-  for (const Matrix& p : params_) n += p.data.size();
+  for (const Matrix& p : params_) {
+    n += static_cast<std::size_t>(p.rows) * static_cast<std::size_t>(p.cols);
+  }
   return n;
 }
 

@@ -46,7 +46,12 @@ std::string payload_of(const Dgcnn& model) {
   os << params.size() << '\n';
   for (const Matrix& m : params) {
     os << m.rows << ' ' << m.cols;
-    for (double x : m.data) os << ' ' << x;
+    // Logical elements only — the SIMD pad lanes (matrix.h) are not part of
+    // the muxlink-dgcnn-v2 format.
+    for (int r = 0; r < m.rows; ++r) {
+      const double* p = m.row(r);
+      for (int c = 0; c < m.cols; ++c) os << ' ' << p[c];
+    }
     os << '\n';
   }
   return os.str();
@@ -124,7 +129,10 @@ Dgcnn load_model(std::istream& is) {
       fail("bad tensor header " + std::to_string(rows) + "x" + std::to_string(cols));
     }
     Matrix m(rows, cols);
-    for (double& x : m.data) x = read_field<double>(ps, "tensor value");
+    for (int r = 0; r < rows; ++r) {
+      double* p = m.row(r);
+      for (int c = 0; c < cols; ++c) p[c] = read_field<double>(ps, "tensor value");
+    }
     params.push_back(std::move(m));
   }
   // Exact consumption: any leftover token means the tensor table and the

@@ -13,6 +13,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "gnn/checkpoint.h"
+#include "gnn/simd.h"
 
 namespace muxlink::gnn {
 
@@ -49,10 +50,12 @@ double evaluate_auc_ptrs(Dgcnn& model, const std::vector<const GraphSample*>& sa
 }
 
 double grad_sumsq(const std::vector<Matrix>& grads) {
+  // sumsq_acc chains each tensor from the running accumulator, preserving
+  // the single cross-tensor summation chain of the scalar oracle (the pad
+  // lanes contribute exact +0 terms).
+  const KernelTable& kn = kernels();
   double s = 0.0;
-  for (const Matrix& m : grads) {
-    for (double g : m.data) s += g * g;
-  }
+  for (const Matrix& m : grads) s = kn.sumsq_acc(s, m.data.data(), m.data.size());
   return s;
 }
 

@@ -156,14 +156,21 @@ gnn::TrainerCheckpoint sample_checkpoint() {
   rs << rng;
   ckpt.rng_state = rs.str();
   std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  // Logical fill only: checkpoint IO stores rows*cols doubles, and the SIMD
+  // pad lanes must stay zero on both sides of the round trip.
+  const auto randomize = [&](gnn::Matrix& m) {
+    for (int r = 0; r < m.rows; ++r) {
+      for (int c = 0; c < m.cols; ++c) m.at(r, c) = unit(rng);
+    }
+  };
   for (int t = 0; t < 3; ++t) {
     gnn::Matrix m(2 + t, 3);
-    for (double& x : m.data) x = unit(rng);
+    randomize(m);
     ckpt.params.push_back(m);
     ckpt.best_params.push_back(m);
-    for (double& x : m.data) x = unit(rng);
+    randomize(m);
     ckpt.adam_m.push_back(m);
-    for (double& x : m.data) x = unit(rng);
+    randomize(m);
     ckpt.adam_v.push_back(m);
   }
   return ckpt;

@@ -20,12 +20,20 @@ namespace {
 
 // --- matrix kernels -----------------------------------------------------------
 
+// Fills logical elements row-major (the padded storage makes flat
+// data-assignment shape-dependent; see matrix.h).
+void fill(Matrix& m, std::initializer_list<double> values) {
+  ASSERT_EQ(values.size(), static_cast<std::size_t>(m.rows) * m.cols);
+  auto it = values.begin();
+  for (int i = 0; i < m.rows; ++i) {
+    for (int j = 0; j < m.cols; ++j) m.at(i, j) = *it++;
+  }
+}
+
 TEST(MatrixKernels, Matmul) {
   Matrix a(2, 3), b(3, 2), out;
-  double va[] = {1, 2, 3, 4, 5, 6};
-  double vb[] = {7, 8, 9, 10, 11, 12};
-  a.data.assign(va, va + 6);
-  b.data.assign(vb, vb + 6);
+  fill(a, {1, 2, 3, 4, 5, 6});
+  fill(b, {7, 8, 9, 10, 11, 12});
   matmul(a, b, out);
   EXPECT_DOUBLE_EQ(out.at(0, 0), 58.0);
   EXPECT_DOUBLE_EQ(out.at(0, 1), 64.0);
@@ -35,9 +43,9 @@ TEST(MatrixKernels, Matmul) {
 
 TEST(MatrixKernels, MatmulAtBAccumulates) {
   Matrix a(2, 2), b(2, 2), out(2, 2);
-  a.data = {1, 2, 3, 4};
-  b.data = {5, 6, 7, 8};
-  out.data = {1, 0, 0, 1};
+  fill(a, {1, 2, 3, 4});
+  fill(b, {5, 6, 7, 8});
+  fill(out, {1, 0, 0, 1});
   matmul_at_b_accum(a, b, out);
   // a^T b = [[26,30],[38,44]]; plus identity.
   EXPECT_DOUBLE_EQ(out.at(0, 0), 27.0);
@@ -48,8 +56,8 @@ TEST(MatrixKernels, MatmulAtBAccumulates) {
 
 TEST(MatrixKernels, MatmulABt) {
   Matrix a(1, 3), b(2, 3), out;
-  a.data = {1, 2, 3};
-  b.data = {4, 5, 6, 7, 8, 9};
+  fill(a, {1, 2, 3});
+  fill(b, {4, 5, 6, 7, 8, 9});
   matmul_a_bt(a, b, out);
   EXPECT_DOUBLE_EQ(out.at(0, 0), 32.0);
   EXPECT_DOUBLE_EQ(out.at(0, 1), 50.0);

@@ -8,6 +8,7 @@
 // the degenerate shapes the blocking tails must handle.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 
 #include "circuitgen/generator.h"
@@ -198,15 +199,19 @@ Matrix random_matrix(int r, int c, std::mt19937_64& rng, double sparsity = 0.0) 
   Matrix m(r, c);
   std::uniform_real_distribution<double> u(-2.0, 2.0);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
-  for (double& x : m.data) x = unit(rng) < sparsity ? 0.0 : u(rng);
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) m.at(i, j) = unit(rng) < sparsity ? 0.0 : u(rng);
+  }
   return m;
 }
 
 void expect_bits_equal(const Matrix& a, const Matrix& b) {
   ASSERT_EQ(a.rows, b.rows);
   ASSERT_EQ(a.cols, b.cols);
-  for (std::size_t i = 0; i < a.data.size(); ++i) {
-    EXPECT_EQ(a.data[i], b.data[i]) << "element " << i;
+  for (int i = 0; i < a.rows; ++i) {
+    for (int j = 0; j < a.cols; ++j) {
+      EXPECT_EQ(a.at(i, j), b.at(i, j)) << "element (" << i << "," << j << ")";
+    }
   }
 }
 
@@ -278,17 +283,46 @@ TEST(BlockedKernels, OutputsAreFullyOverwrittenDespiteUninitResize) {
 
 TEST(MatrixResize, UninitKeepsShapeAndGrowsZeroed) {
   Matrix m(2, 2);
-  m.data = {1, 2, 3, 4};
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 3;
+  m.at(1, 1) = 4;
   m.resize_uninit(2, 2);
-  EXPECT_EQ(m.data, (std::vector<double>{1, 2, 3, 4}));  // same shape: untouched
+  EXPECT_EQ(m.at(0, 0), 1);  // same shape: untouched
+  EXPECT_EQ(m.at(1, 1), 4);
   m.resize_uninit(3, 2);
   EXPECT_EQ(m.rows, 3);
   EXPECT_EQ(m.cols, 2);
-  ASSERT_EQ(m.data.size(), 6u);
-  EXPECT_EQ(m.data[4], 0.0);  // grown tail is value-initialized
-  EXPECT_EQ(m.data[5], 0.0);
+  ASSERT_EQ(m.data.size(), static_cast<std::size_t>(3 * m.ld));
+  EXPECT_EQ(m.at(2, 0), 0.0);  // grown tail is value-initialized
+  EXPECT_EQ(m.at(2, 1), 0.0);
   m.resize(2, 2);
-  EXPECT_EQ(m.data, (std::vector<double>{0, 0, 0, 0}));  // resize() still zero-fills
+  EXPECT_EQ(m.at(0, 0), 0.0);  // resize() still zero-fills
+  EXPECT_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(MatrixLayout, StorageIsAlignedAndPadsStayZero) {
+  // The SIMD contract (DESIGN.md §10): 32-byte-aligned rows, ld a multiple
+  // of the lane count, and zero pad lanes across resize paths.
+  Matrix m(5, 7);
+  EXPECT_EQ(m.ld, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data.data()) % kSimdAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(3)) % kSimdAlign, 0u);
+  for (int i = 0; i < m.rows; ++i) {
+    for (int j = 0; j < m.cols; ++j) m.at(i, j) = 1e300;
+  }
+  // Reshape moving previously-logical (now garbage) values into pad slots.
+  m.resize_uninit(7, 5);
+  for (int i = 0; i < m.rows; ++i) {
+    const double* p = m.row(i);
+    for (int j = m.cols; j < m.ld; ++j) EXPECT_EQ(p[j], 0.0) << "pad (" << i << "," << j << ")";
+  }
+  std::mt19937_64 rng(11);
+  m.glorot(rng);
+  for (int i = 0; i < m.rows; ++i) {
+    const double* p = m.row(i);
+    for (int j = m.cols; j < m.ld; ++j) EXPECT_EQ(p[j], 0.0);
+  }
 }
 
 TEST(GraphSampleCsr, SetAdjacencyBuildsOffsetsAndInverseDegrees) {

@@ -12,7 +12,7 @@
 //                  [--truth-key key.txt|BITS] [--orig orig.bench]
 //                  [--scheme LABEL] [--patterns N]
 //                  [--checkpoint-dir D] [--checkpoint-every N] [--resume]
-//                  [--clip-grad X] [--save-model model.txt]
+//                  [--clip-grad X] [--save-model model.txt] [--simd MODE]
 //   muxlink saam <locked.bench>
 //   muxlink scope <locked.bench>
 //   muxlink hd <a.bench> <b.bench> [--patterns N] [--key BITSTRING]
@@ -33,10 +33,12 @@
 #include "attacks/constprop.h"
 #include "attacks/metrics.h"
 #include "attacks/saam.h"
+#include "common/cpu_features.h"
 #include "common/run_manifest.h"
 #include "common/thread_pool.h"
 #include "gnn/checkpoint.h"
 #include "gnn/serialize.h"
+#include "gnn/simd.h"
 #include "circuitgen/suites.h"
 #include "locking/mux_lock.h"
 #include "locking/trll.h"
@@ -99,6 +101,9 @@ commands:
                          bit-identical to an uninterrupted run
        [--clip-grad X]   clip each batch's mean gradient to L2 norm <= X
        [--save-model F]  save the trained DGCNN (CRC-guarded text format)
+       [--simd MODE]     training kernel set: auto (default), avx2, scalar;
+                         also settable via MUXLINK_SIMD. avx2 errors out on
+                         hardware without AVX2+FMA instead of downgrading
   saam <locked.bench>                          structural SAAM attack
   scope <locked.bench>                         unsupervised SCOPE attack
   hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
@@ -240,10 +245,13 @@ int cmd_attack(const CliArgs& args) {
   args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover",
                    "threads", "report", "telemetry", "truth-key", "orig", "scheme",
                    "patterns", "checkpoint-dir", "checkpoint-every", "resume", "clip-grad",
-                   "save-model"});
+                   "save-model", "simd"});
   if (args.positional().size() != 1) return usage();
   if (const long t = args.get_long("threads", 0); t > 0) {
     common::set_num_threads(static_cast<std::size_t>(t));
+  }
+  if (const auto simd = args.get("simd")) {
+    common::set_simd_mode(common::parse_simd_mode(*simd));
   }
   const auto locked = read_design(args.positional()[0]);
   core::MuxLinkOptions opts;
@@ -339,6 +347,7 @@ int cmd_attack(const CliArgs& args) {
     extra["deciphered_key"] = render_key(result.key);
     extra["rollbacks"] = result.training.rollbacks;
     extra["resumed_from_epoch"] = result.training.resumed_from_epoch;
+    extra["cpu"] = gnn::cpu_info_json();
     m.extra = std::move(extra);
     m.observability = common::observability_to_json();
     write_text(*report, m.to_json().dump_pretty() + "\n");
