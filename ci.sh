@@ -11,6 +11,10 @@
 #   ./ci.sh simd     # GNN suites under MUXLINK_SIMD=scalar and =avx2, plus
 #                    # an ASan+UBSan pass over the vectorized kernels; the
 #                    # avx2 leg skips gracefully on hosts without AVX2+FMA
+#   ./ci.sh serving  # model-zoo round trip: a cold attack populates the
+#                    # registry, the warm rerun must be served (mmap),
+#                    # bit-identical, and faster; plus an ASan+UBSan pass
+#                    # over the mmap/score-cache path
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -66,7 +70,7 @@ run_docs() {
 
   # Validate the fresh manifest plus every committed one.
   build/tools/report_md --check "$d/run.json" manifests/*.json \
-    BENCH_pipeline.json BENCH_kernels.json
+    BENCH_pipeline.json BENCH_kernels.json BENCH_serving.json
   # And make sure the renderer accepts them.
   build/tools/report_md manifests/*.json >/dev/null
   rm -rf "$d"
@@ -181,13 +185,60 @@ run_simd() {
   MUXLINK_SIMD="$simd_env" quiet build-san/tests/test_simd
 }
 
+run_serving() {
+  echo "== serving: model-zoo round trip (cold train, warm mmap-served) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target muxlink_cli bench_serving
+  local d cli
+  d="$(mktemp -d)"
+  cli=build/tools/muxlink
+
+  # Cold run populates the registry; the warm rerun must be served from it
+  # (skipping sampling + training) and decipher the identical key.
+  "$cli" gen c432 --out "$d/c.bench" >/dev/null
+  "$cli" lock "$d/c.bench" --scheme dmux --key-bits 16 --seed 1 \
+    --out "$d/l.bench" --key-out "$d/k.txt" >/dev/null
+  "$cli" attack "$d/l.bench" --epochs 3 --links 300 --seed 1 --scheme dmux \
+    --zoo --zoo-dir "$d/zoo" --key-out "$d/cold.key" >"$d/cold.out"
+  grep -q "zoo miss" "$d/cold.out" \
+    || { echo "cold run unexpectedly hit the zoo" >&2; rm -rf "$d"; return 1; }
+  "$cli" attack "$d/l.bench" --epochs 3 --links 300 --seed 1 --scheme dmux \
+    --zoo --zoo-dir "$d/zoo" --key-out "$d/warm.key" --report "$d/warm.json" \
+    >"$d/warm.out"
+  grep -q "zoo hit" "$d/warm.out" \
+    || { echo "warm run was not served from the zoo" >&2; rm -rf "$d"; return 1; }
+  cmp "$d/cold.key" "$d/warm.key" \
+    || { echo "zoo-served key differs from the trained one" >&2; rm -rf "$d"; return 1; }
+  grep -q '"serving"' "$d/warm.json" \
+    || { echo "warm manifest lacks the serving block" >&2; rm -rf "$d"; return 1; }
+
+  # The committed benchmark gate: warm must be bit-identical (scores
+  # included, with and without the score cache) and >= 5x faster.
+  build/tools/bench_serving --circuit c432 --key-bits 16 --epochs 5 --links 500 \
+    >/dev/null
+
+  # ASan+UBSan over the mmap + score-cache path (test_zoo covers blob
+  # round-trips, registry races, eviction, and the serving determinism
+  # contract).
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs" --target test_zoo
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tests/test_zoo >/dev/null
+  rm -rf "$d"
+}
+
 case "$stage" in
   tier1)  run_tier1 ;;
   san)    run_san ;;
   docs)   run_docs ;;
   faults) run_faults ;;
   simd)   run_simd ;;
-  all)    run_tier1; run_san; run_docs; run_faults; run_simd ;;
-  *) echo "usage: $0 [tier1|san|docs|faults|simd|all]" >&2; exit 64 ;;
+  serving) run_serving ;;
+  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving ;;
+  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

@@ -1,6 +1,8 @@
 #include "common/atomic_file.h"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -31,7 +33,15 @@ void sync_directory(const std::filesystem::path& dir) {
 }  // namespace
 
 void atomic_write_file(const std::filesystem::path& path, std::string_view payload) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  // Unique temp per writer: two processes (or threads) replacing the SAME
+  // destination — e.g. racing zoo inserts of one registry key — must not
+  // scribble over each other's half-written temp. Each writer stages its
+  // own file and the rename()s serialize in the kernel: the destination is
+  // always one writer's complete payload, last rename wins.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) fail("open", tmp);
   std::size_t written = 0;

@@ -2,8 +2,11 @@
 // directory, fsync it, rename() over the destination, fsync the directory.
 // A reader never observes a partially written destination — after a crash
 // at ANY point the destination holds either the previous complete contents
-// or the new complete contents (plus possibly a stray `<name>.tmp`, which
-// readers must ignore).
+// or the new complete contents (plus possibly a stray `<name>.tmp.<pid>.<n>`,
+// which readers must ignore). Temp names are unique per writer, so
+// concurrent writers replacing the same destination (racing zoo inserts of
+// one registry key) stage independently and the rename()s serialize — the
+// destination is always somebody's complete payload.
 #pragma once
 
 #include <filesystem>

@@ -417,6 +417,11 @@ void Dgcnn::adam_step(std::size_t batch_size) {
   const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
   const KernelTable& kn = kernels();
   for (std::size_t p = 0; p < params_.size(); ++p) {
+    if (params_[p].borrowed()) {
+      // Mapped (zoo) weights are read-only views; training must go through
+      // an owning copy (warm-start materializes before fine-tuning).
+      throw std::logic_error("Dgcnn::adam_step: parameters are a read-only mapped view");
+    }
     // Whole padded buffers: zero grad/m/v leave the zero pad weights zero.
     kn.adam_update(params_[p].data.data(), grads_[p].data.data(), adam_m_[p].data.data(),
                    adam_v_[p].data.data(), params_[p].data.size(), cfg_.learning_rate, bc1, bc2,

@@ -61,6 +61,15 @@ struct Matrix {
   int ld = 0;  // row stride in doubles: cols rounded up to kSimdLanes
   AlignedVec data;  // rows * ld doubles; pad lanes are always zero
 
+  // Borrowed read-only storage (serving layer, DESIGN.md §11): when set, the
+  // matrix is a non-owning VIEW over external memory in the same padded
+  // layout — a zoo blob mapped with mmap — and `data` stays empty. Views are
+  // read-only: every const accessor works, every mutating accessor asserts.
+  // Whoever creates the view owns the mapping and must outlive the matrix.
+  // Copying a view copies the pointer, not the payload (copies share the
+  // mapping); materialize() converts back to owning storage before training.
+  const double* view = nullptr;
+
   static constexpr int padded_cols(int c) {
     return (c + kSimdLanes - 1) / kSimdLanes * kSimdLanes;
   }
@@ -70,18 +79,48 @@ struct Matrix {
       : rows(r), cols(c), ld(padded_cols(c)),
         data(static_cast<std::size_t>(r) * static_cast<std::size_t>(padded_cols(c)), 0.0) {}
 
+  // Non-owning view over `p` (rows × ld doubles, pads zero, 32-byte aligned).
+  static Matrix borrow(int r, int c, const double* p) {
+    Matrix m;
+    m.rows = r;
+    m.cols = c;
+    m.ld = padded_cols(c);
+    m.view = p;
+    return m;
+  }
+
+  bool borrowed() const noexcept { return view != nullptr; }
+
+  // Deep-copies a view into owning storage (no-op on owning matrices). The
+  // warm-start path calls this before fine-tuning: training writes weights
+  // in place, which a mapped read-only view must never see.
+  void materialize() {
+    if (view == nullptr) return;
+    data.assign(view, view + static_cast<std::size_t>(rows) * static_cast<std::size_t>(ld));
+    view = nullptr;
+  }
+
   double& at(int r, int c) {
+    assert(view == nullptr);
     assert(r >= 0 && r < rows && c >= 0 && c < cols);
     return data[static_cast<std::size_t>(r) * ld + c];
   }
   double at(int r, int c) const {
     assert(r >= 0 && r < rows && c >= 0 && c < cols);
-    return data[static_cast<std::size_t>(r) * ld + c];
+    return row(r)[c];
   }
-  double* row(int r) { return data.data() + static_cast<std::size_t>(r) * ld; }
-  const double* row(int r) const { return data.data() + static_cast<std::size_t>(r) * ld; }
+  double* row(int r) {
+    assert(view == nullptr);
+    return data.data() + static_cast<std::size_t>(r) * ld;
+  }
+  const double* row(int r) const {
+    return (view != nullptr ? view : data.data()) + static_cast<std::size_t>(r) * ld;
+  }
 
-  void zero() { std::fill(data.begin(), data.end(), 0.0); }
+  void zero() {
+    assert(view == nullptr);
+    std::fill(data.begin(), data.end(), 0.0);
+  }
 
   // Reshapes to r × c and zero-fills (pads included), reusing the existing
   // allocation when capacity allows (vector::assign). The per-sample
@@ -89,6 +128,7 @@ struct Matrix {
   // epoch on same-shaped tensors; this keeps that path allocation-free
   // after warm-up.
   void resize(int r, int c) {
+    assert(view == nullptr);
     rows = r;
     cols = c;
     ld = padded_cols(c);
@@ -104,6 +144,7 @@ struct Matrix {
   // stale values into pad positions), so the pads-are-zero invariant holds;
   // callers MUST write every logical element before reading.
   void resize_uninit(int r, int c) {
+    assert(view == nullptr);
     rows = r;
     cols = c;
     ld = padded_cols(c);

@@ -34,6 +34,11 @@ T read_field(std::istream& is, const char* what) {
 std::string payload_of(const Dgcnn& model) {
   const DgcnnConfig& cfg = model.config();
   std::ostringstream os;
+  // Explicit tensor-layout version (previously an implicit property of the
+  // format): the text payload stores logical rows × cols elements only. A
+  // reader that can only map other layouts (the zoo mmap loader) must be
+  // able to reject this file from the header instead of mis-reading `ld`.
+  os << "layout " << kLayoutLogical << '\n';
   os << model.feature_dim() << '\n';
   os << cfg.conv_channels.size();
   for (int c : cfg.conv_channels) os << ' ' << c;
@@ -102,7 +107,32 @@ Dgcnn load_model(std::istream& is) {
   }
 
   std::istringstream ps(payload);
-  const int feature_dim = read_field<int>(ps, "feature dim");
+  // Layout header. Files written before the field existed start directly
+  // with the feature dim; they are logical-layout by construction, so the
+  // absent field defaults to kLayoutLogical rather than failing.
+  int layout = kLayoutLogical;
+  int feature_dim = 0;
+  {
+    std::string first;
+    if (!(ps >> first)) fail("truncated or malformed layout/feature header");
+    if (first == "layout") {
+      layout = read_field<int>(ps, "layout version");
+      feature_dim = read_field<int>(ps, "feature dim");
+    } else {
+      std::size_t pos = 0;
+      try {
+        feature_dim = std::stoi(first, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != first.size()) fail("malformed feature dim '" + first + "'");
+    }
+  }
+  if (layout != kLayoutLogical) {
+    fail("unsupported tensor layout " + std::to_string(layout) +
+         " (the text format carries layout " + std::to_string(kLayoutLogical) +
+         "; padded blobs are zoo files, load them via zoo::load_model_blob)");
+  }
   const auto num_layers = read_field<std::size_t>(ps, "layer count");
   if (feature_dim < 1 || num_layers < 1 || num_layers > 64) fail("malformed header");
   DgcnnConfig cfg;

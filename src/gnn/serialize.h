@@ -26,6 +26,14 @@ class ModelFormatError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Tensor layout versions recorded in model containers (DESIGN.md §11). The
+// text format always stores logical elements; the zoo blob stores the padded
+// SIMD layout so it can be mapped in place. A loader must reject a layout it
+// cannot interpret instead of mis-reading the leading dimension.
+inline constexpr int kLayoutLogical = 0;     // rows × cols, no pad lanes
+inline constexpr int kLayoutPaddedSimd = 1;  // rows × ld, ld = padded_cols(cols),
+                                             // 32-byte-aligned rows, pads zero
+
 // Writes `model` (topology + parameters) to the stream/file.
 void save_model(const Dgcnn& model, std::ostream& os);
 void save_model_file(const Dgcnn& model, const std::filesystem::path& path);

@@ -70,6 +70,34 @@ struct MuxLinkOptions {
   // When non-empty, the trained model is saved here (gnn/serialize.h
   // format; ensemble members append ".<e>" before the extension).
   std::string model_out;
+
+  // --- serving layer (DESIGN.md §11) ----------------------------------
+  // Content-addressed model registry. When enabled, a run whose registry
+  // key (circuit content, scheme, hops, feature config, seed — see
+  // zoo/registry.h) already has blobs for every ensemble member skips
+  // sampling and training and scores with the stored weights mmap'd in
+  // place; otherwise it trains normally and inserts the result. Serving is
+  // bit-transparent: a zoo-served run produces the same key and scores as
+  // the training run that populated the entry.
+  bool use_zoo = false;
+  std::string zoo_dir;  // "" = MUXLINK_ZOO, else ~/.cache/muxlink/zoo
+  std::string scheme;   // locking-scheme label folded into the key ("none")
+
+  // Warm-start fine-tuning: a registry key or blob path to load (weights +
+  // Adam moments) before training, with a shorter epoch budget and a
+  // rescaled learning rate. The fine-tuned result is registered under a
+  // key whose config hash folds in the warm-start ref, so it can never be
+  // served to a cold run (DESIGN.md §11 coherence rule).
+  std::string warm_start;
+  int warm_epochs = 0;          // 0 = max(1, epochs / 4)
+  double warm_lr_scale = 0.1;   // fine-tune LR = learning_rate * this
+
+  // Per-link score cache (zoo runs only): target-link posteriors keyed by
+  // everything they depend on, so a repeated attack skips subgraph
+  // extraction + inference for links it has scored before. Bit-transparent
+  // by the same contract; capacity bounds the entry count (LRU).
+  bool score_cache = true;
+  std::size_t score_cache_capacity = 1u << 20;
 };
 
 // Likelihood bookkeeping for one traced key MUX: the two candidate links
@@ -78,6 +106,18 @@ struct MuxLikelihood {
   attacks::TracedMux mux;
   double score_a = 0.0;  // likelihood of (input_a -> sink); key bit 0
   double score_b = 0.0;  // likelihood of (input_b -> sink); key bit 1
+};
+
+// What the serving layer did for one run (surfaced in the run manifest's
+// `serving` block and the serving.* metrics).
+struct ServingStats {
+  bool zoo_enabled = false;
+  bool zoo_hit = false;          // every ensemble member served from the registry
+  bool warm_start = false;
+  std::string zoo_key;           // member-0 registry key ("" when disabled)
+  std::uint64_t cache_hits = 0;  // per-link score cache
+  std::uint64_t cache_misses = 0;
+  std::size_t bytes_mapped = 0;  // blob bytes mmap'd across the ensemble
 };
 
 struct MuxLinkResult {
@@ -94,6 +134,7 @@ struct MuxLinkResult {
   double score_seconds = 0.0;
   double total_seconds = 0.0;
   int threads = 1;  // pool size the run used (common::num_threads())
+  ServingStats serving;
 };
 
 class MuxLinkAttack {

@@ -1,0 +1,138 @@
+#include "zoo/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <system_error>
+
+#include "common/atomic_file.h"
+
+namespace muxlink::zoo {
+
+namespace fs = std::filesystem;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string ZooKey::str() const {
+  return "c" + hex64(circuit_hash) + "-" + (scheme.empty() ? std::string("none") : scheme) +
+         "-h" + std::to_string(hops) + "-f" + std::to_string(feature_dim) + "-s" +
+         std::to_string(seed) + "-t" + hex64(config_hash) + "-m" + std::to_string(member);
+}
+
+Registry::Registry(fs::path dir) : dir_(std::move(dir)) {
+  fs::create_directories(dir_ / "scores");
+}
+
+fs::path Registry::resolve_dir(const std::string& explicit_dir) {
+  if (!explicit_dir.empty()) return explicit_dir;
+  if (const char* env = std::getenv("MUXLINK_ZOO"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (const char* home = std::getenv("HOME"); home != nullptr && home[0] != '\0') {
+    return fs::path(home) / ".cache" / "muxlink" / "zoo";
+  }
+  return fs::path(".muxlink-zoo");
+}
+
+fs::path Registry::entry_path(const std::string& key) const { return dir_ / (key + ".mzb"); }
+
+fs::path Registry::score_cache_path(const std::string& key) const {
+  return dir_ / "scores" / (key + ".msc");
+}
+
+bool Registry::contains(const std::string& key) const {
+  std::error_code ec;
+  return fs::is_regular_file(entry_path(key), ec);
+}
+
+void Registry::insert(const std::string& key, std::string_view blob_bytes) const {
+  common::atomic_write_file(entry_path(key), blob_bytes);
+}
+
+std::optional<fs::path> Registry::find(const std::string& key) const {
+  const fs::path path = entry_path(key);
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) return std::nullopt;
+  // LRU bump. Best-effort: a hit on an entry someone just evicted still
+  // reports the miss via the caller's subsequent open.
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return path;
+}
+
+void Registry::pin(const std::string& key) const {
+  std::ofstream(dir_ / (key + ".pin")).flush();
+}
+
+void Registry::unpin(const std::string& key) const {
+  std::error_code ec;
+  fs::remove(dir_ / (key + ".pin"), ec);
+}
+
+bool Registry::pinned(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(dir_ / (key + ".pin"), ec);
+}
+
+std::vector<Registry::Entry> Registry::list() const {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".mzb") continue;
+    Entry e;
+    e.key = de.path().stem().string();
+    e.path = de.path();
+    e.bytes = de.file_size(ec);
+    e.last_used = de.last_write_time(ec);
+    e.pinned = pinned(e.key);
+    std::error_code sec;
+    const auto score_bytes = fs::file_size(score_cache_path(e.key), sec);
+    if (!sec) e.bytes += score_bytes;
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.last_used != b.last_used ? a.last_used < b.last_used : a.key < b.key;
+  });
+  return entries;
+}
+
+std::uintmax_t Registry::total_bytes() const {
+  std::uintmax_t total = 0;
+  for (const Entry& e : list()) total += e.bytes;
+  return total;
+}
+
+Registry::GcResult Registry::gc(std::uintmax_t max_bytes) const {
+  // Sweep stray atomic-write temps first: a crashed insert leaves
+  // <key>.mzb.tmp.<pid>.<n>, which no reader ever opens.
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (de.is_regular_file(ec) && de.path().filename().string().find(".tmp.") != std::string::npos) {
+      std::error_code rec;
+      fs::remove(de.path(), rec);
+    }
+  }
+
+  GcResult result;
+  std::vector<Entry> entries = list();  // LRU first
+  std::uintmax_t remaining = 0;
+  for (const Entry& e : entries) remaining += e.bytes;
+  for (const Entry& e : entries) {
+    if (remaining <= max_bytes) break;
+    if (e.pinned) continue;
+    std::error_code rec;
+    fs::remove(e.path, rec);
+    fs::remove(score_cache_path(e.key), rec);
+    remaining -= e.bytes;
+    result.bytes_freed += e.bytes;
+    result.evicted.push_back(e.key);
+  }
+  result.bytes_kept = remaining;
+  return result;
+}
+
+}  // namespace muxlink::zoo

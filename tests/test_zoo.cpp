@@ -1,0 +1,674 @@
+// Serving-layer suite (DESIGN.md §11): streaming CRC, MXZOO1 blob round
+// trips (mmap and streaming-copy readers must agree bit for bit), registry
+// key schema + concurrent inserts + LRU gc, the per-link score cache, the
+// explicit tensor-layout version in the text model format, and the
+// end-to-end zoo determinism contract (a zoo-served attack is bit-identical
+// to the training run that populated the entry). The e2e cases train small
+// models, so the suite is registered as a single heavy ctest entry.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "circuitgen/generator.h"
+#include "common/atomic_file.h"
+#include "common/crc32.h"
+#include "common/json.h"
+#include "gnn/dgcnn.h"
+#include "gnn/serialize.h"
+#include "locking/mux_lock.h"
+#include "muxlink/attack.h"
+#include "zoo/model_blob.h"
+#include "zoo/registry.h"
+#include "zoo/score_cache.h"
+
+namespace muxlink {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// Unique scratch directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("muxlink-test-zoo-" + tag + "-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spew(const fs::path& p, const std::string& bytes) {
+  std::ofstream os(p, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+bool bit_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+// Bit-exact parameter comparison (== would conflate 0.0 and -0.0).
+void expect_params_bit_equal(const std::vector<gnn::Matrix>& a,
+                             const std::vector<gnn::Matrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].rows, b[i].rows);
+    ASSERT_EQ(a[i].cols, b[i].cols);
+    for (int r = 0; r < a[i].rows; ++r) {
+      for (int c = 0; c < a[i].cols; ++c) {
+        EXPECT_TRUE(bit_equal(a[i].at(r, c), b[i].at(r, c)))
+            << "tensor " << i << " [" << r << "," << c << "]";
+      }
+    }
+  }
+}
+
+// A small model with non-trivial weights and Adam moments.
+gnn::Dgcnn small_model(std::uint64_t seed = 7) {
+  gnn::DgcnnConfig cfg;
+  cfg.conv_channels = {8, 8, 1};
+  cfg.conv1d_channels1 = 4;
+  cfg.conv1d_channels2 = 8;
+  cfg.dense_units = 16;
+  cfg.sortpool_k = 10;
+  cfg.seed = seed;
+  gnn::Dgcnn model(6, cfg);
+  return model;
+}
+
+gnn::GraphSample ring_sample(int nodes = 12, int feature_dim = 6, std::uint64_t seed = 3) {
+  gnn::GraphSample s;
+  std::vector<std::vector<int>> adj(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    adj[i] = {(i + 1) % nodes, (i + nodes - 1) % nodes};
+  }
+  s.set_adjacency(adj);
+  s.x = gnn::Matrix(nodes, feature_dim);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int r = 0; r < nodes; ++r) {
+    for (int c = 0; c < feature_dim; ++c) s.x.at(r, c) = u(rng);
+  }
+  s.label = 1;
+  return s;
+}
+
+// One training step so the Adam moments are non-zero. Dropout comes from an
+// explicit seed (the trainer's deterministic overload), so the step depends
+// only on (parameters, moments, sample) — the internal RNG state, which the
+// blob does not carry, stays out of the trajectory.
+void take_one_step(gnn::Dgcnn& model, std::uint64_t dropout_seed = 99) {
+  const auto s = ring_sample();
+  auto grads = model.make_gradient_buffers();
+  model.accumulate_gradients(s, grads, dropout_seed);
+  model.add_gradients(grads);
+  model.adam_step(1);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: streaming CRC matches the one-shot API.
+
+TEST(Crc32, KnownAnswer) {
+  EXPECT_EQ(common::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(common::crc32(""), 0u);
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  std::string data(4099, '\0');
+  std::mt19937_64 rng(11);
+  for (char& c : data) c = static_cast<char>(rng());
+  const std::uint32_t whole = common::crc32(data);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{256},
+                            std::size_t{4096}, data.size()}) {
+    common::Crc32 crc;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      crc.update(std::string_view(data).substr(off, chunk));
+    }
+    EXPECT_EQ(crc.value(), whole) << "chunk=" << chunk;
+  }
+}
+
+TEST(Crc32, SeedChainingAndReset) {
+  const std::string a = "hello, ";
+  const std::string b = "zoo";
+  EXPECT_EQ(common::crc32(b, common::crc32(a)), common::crc32(a + b));
+
+  common::Crc32 crc;
+  crc.update(a);
+  crc.update(b.data(), b.size());
+  EXPECT_EQ(crc.value(), common::crc32(a + b));
+  crc.reset();
+  EXPECT_EQ(crc.value(), 0u);
+  crc.update("123456789");
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+// ---------------------------------------------------------------------------
+// MXZOO1 blobs: round trip, mmap vs streaming copy, rejection paths.
+
+class BlobTest : public ::testing::Test {
+ protected:
+  BlobTest() : dir_("blob") {}
+  fs::path write_blob(const gnn::Dgcnn& model, bool with_optimizer,
+                      const std::string& name = "m.mzb") {
+    common::Json meta = common::Json::object();
+    meta["test"] = std::string("yes");
+    const std::string bytes = zoo::encode_model_blob(model, meta, with_optimizer);
+    const fs::path p = dir_.path / name;
+    spew(p, bytes);
+    return p;
+  }
+  TempDir dir_;
+};
+
+TEST_F(BlobTest, MmapAndCopyReadersAgreeBitForBit) {
+  auto model = small_model();
+  take_one_step(model);
+  const fs::path p = write_blob(model, /*with_optimizer=*/true);
+
+  zoo::LoadOptions mapped_opts;
+  auto mapped = zoo::load_model_blob(p, mapped_opts);
+  EXPECT_TRUE(mapped.mapped);
+  EXPECT_GT(mapped.bytes_mapped, 0u);
+
+  zoo::LoadOptions copy_opts;
+  copy_opts.force_copy = true;
+  auto copied = zoo::load_model_blob(p, copy_opts);
+  EXPECT_FALSE(copied.mapped);
+  EXPECT_EQ(copied.bytes_mapped, 0u);
+
+  expect_params_bit_equal(model.save_parameters(), mapped.model.save_parameters());
+  expect_params_bit_equal(model.save_parameters(), copied.model.save_parameters());
+
+  // Inference through the mapped views matches the owned copies exactly.
+  const auto s = ring_sample();
+  const double p_orig = model.predict(s, false);
+  EXPECT_TRUE(bit_equal(p_orig, mapped.model.predict(s, false)));
+  EXPECT_TRUE(bit_equal(p_orig, copied.model.predict(s, false)));
+
+  EXPECT_EQ(mapped.meta["test"].as_string(), "yes");
+}
+
+TEST_F(BlobTest, MaterializeMakesMappedModelTrainable) {
+  auto model = small_model();
+  take_one_step(model);
+  const fs::path p = write_blob(model, /*with_optimizer=*/true);
+
+  zoo::LoadOptions opts;
+  opts.with_optimizer = true;
+  auto loaded = zoo::load_model_blob(p, opts);
+  // Deep-copy the snapshot: save_parameters() of a mapped model returns
+  // views, and materialize() releases the mapping they point into.
+  auto before = loaded.model.save_parameters();
+  for (auto& m : before) m.materialize();
+  loaded.materialize();
+  EXPECT_FALSE(loaded.mapped);
+  expect_params_bit_equal(before, loaded.model.save_parameters());
+
+  // Optimizer state survived: another identical step matches the original.
+  take_one_step(model);
+  take_one_step(loaded.model);
+  expect_params_bit_equal(model.save_parameters(), loaded.model.save_parameters());
+}
+
+TEST_F(BlobTest, OptimizerRequestedButAbsentThrows) {
+  const auto model = small_model();
+  const fs::path p = write_blob(model, /*with_optimizer=*/false);
+  EXPECT_NO_THROW(zoo::load_model_blob(p));
+  zoo::LoadOptions opts;
+  opts.with_optimizer = true;
+  EXPECT_THROW(zoo::load_model_blob(p, opts), zoo::ZooError);
+}
+
+TEST_F(BlobTest, CorruptTruncatedAndForeignFilesThrow) {
+  const auto model = small_model();
+  const fs::path p = write_blob(model, /*with_optimizer=*/true);
+  const std::string good = slurp(p);
+
+  // Flipped tensor byte: CRC catches it.
+  std::string corrupt = good;
+  corrupt[corrupt.size() - 9] ^= 0x40;
+  spew(dir_.path / "corrupt.mzb", corrupt);
+  EXPECT_THROW(zoo::load_model_blob(dir_.path / "corrupt.mzb"), zoo::ZooError);
+
+  // Truncation at several depths.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{7}, std::size_t{40},
+                           good.size() / 2, good.size() - 1}) {
+    spew(dir_.path / "trunc.mzb", good.substr(0, keep));
+    EXPECT_THROW(zoo::load_model_blob(dir_.path / "trunc.mzb"), zoo::ZooError)
+        << "keep=" << keep;
+  }
+
+  // Wrong magic.
+  std::string foreign = good;
+  foreign[0] = 'Y';
+  spew(dir_.path / "foreign.mzb", foreign);
+  EXPECT_THROW(zoo::load_model_blob(dir_.path / "foreign.mzb"), zoo::ZooError);
+
+  EXPECT_THROW(zoo::load_model_blob(dir_.path / "missing.mzb"), zoo::ZooError);
+}
+
+TEST_F(BlobTest, UnknownLayoutVersionIsRejectedNotMisread) {
+  const auto model = small_model();
+  const fs::path p = write_blob(model, /*with_optimizer=*/false);
+  std::string bytes = slurp(p);
+  // layout_version is the u32 at offset 12 (magic 8 + header_version 4); it
+  // is outside the payload CRC on purpose — the header check must fire.
+  const std::uint32_t bogus = 7;
+  std::memcpy(bytes.data() + 12, &bogus, sizeof bogus);
+  spew(dir_.path / "layout.mzb", bytes);
+  EXPECT_THROW(zoo::load_model_blob(dir_.path / "layout.mzb"), zoo::ZooError);
+}
+
+TEST_F(BlobTest, EnvVarForcesStreamingCopy) {
+  const auto model = small_model();
+  const fs::path p = write_blob(model, /*with_optimizer=*/false);
+  ::setenv("MUXLINK_ZOO_MMAP", "0", 1);
+  const auto loaded = zoo::load_model_blob(p);
+  ::unsetenv("MUXLINK_ZOO_MMAP");
+  EXPECT_FALSE(loaded.mapped);
+  EXPECT_EQ(loaded.bytes_mapped, 0u);
+  expect_params_bit_equal(model.save_parameters(), loaded.model.save_parameters());
+}
+
+TEST_F(BlobTest, ReadBlobMetaIsACheapProbe) {
+  const auto model = small_model();
+  const fs::path p = write_blob(model, /*with_optimizer=*/true);
+  auto meta = zoo::read_blob_meta(p);
+  EXPECT_EQ(meta["format"].as_string(), "muxlink-zoo-blob/v1");
+  EXPECT_EQ(meta["test"].as_string(), "yes");
+  EXPECT_THROW(zoo::read_blob_meta(dir_.path / "missing.mzb"), zoo::ZooError);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: the text model format records its layout version.
+
+TEST(SerializeLayout, TextFormatCarriesExplicitLogicalLayout) {
+  const auto model = small_model();
+  std::ostringstream os;
+  gnn::save_model(model, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\nlayout 0\n"), std::string::npos);
+
+  std::istringstream is(text);
+  auto reloaded = gnn::load_model(is);
+  expect_params_bit_equal(model.save_parameters(), reloaded.save_parameters());
+}
+
+TEST(SerializeLayout, LegacyFileWithoutLayoutLineStillLoads) {
+  const auto model = small_model();
+  std::ostringstream os;
+  gnn::save_model(model, os);
+  std::string text = os.str();
+
+  // Rebuild the file as a pre-layout-field writer would have: drop the
+  // layout line and re-seal the CRC trailer.
+  const auto magic_end = text.find('\n') + 1;
+  const auto crc_pos = text.rfind("crc32 ");
+  std::string payload = text.substr(magic_end, crc_pos - magic_end);
+  const std::string layout_line = "layout 0\n";
+  ASSERT_EQ(payload.rfind(layout_line, 0), 0u);
+  payload.erase(0, layout_line.size());
+  char trailer[24];
+  std::snprintf(trailer, sizeof trailer, "crc32 %08x\n", common::crc32(payload));
+  std::istringstream is(text.substr(0, magic_end) + payload + trailer);
+  auto reloaded = gnn::load_model(is);
+  expect_params_bit_equal(model.save_parameters(), reloaded.save_parameters());
+}
+
+TEST(SerializeLayout, ForeignLayoutVersionIsRejected) {
+  const auto model = small_model();
+  std::ostringstream os;
+  gnn::save_model(model, os);
+  std::string text = os.str();
+
+  const auto magic_end = text.find('\n') + 1;
+  const auto crc_pos = text.rfind("crc32 ");
+  std::string payload = text.substr(magic_end, crc_pos - magic_end);
+  ASSERT_EQ(payload.rfind("layout 0\n", 0), 0u);
+  payload.replace(0, 9, "layout 1\n");  // kLayoutPaddedSimd: text reader must balk
+  char trailer[24];
+  std::snprintf(trailer, sizeof trailer, "crc32 %08x\n", common::crc32(payload));
+  std::istringstream is(text.substr(0, magic_end) + payload + trailer);
+  EXPECT_THROW(gnn::load_model(is), gnn::ModelFormatError);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: key schema, LRU bookkeeping, concurrent inserts, gc.
+
+TEST(Registry, KeySchemaIsStable) {
+  zoo::ZooKey key;
+  key.circuit_hash = 0xdeadbeefcafe0123ull;
+  key.scheme = "dmux";
+  key.hops = 3;
+  key.feature_dim = 17;
+  key.seed = 42;
+  key.config_hash = 0x0123456789abcdefull;
+  key.member = 2;
+  EXPECT_EQ(key.str(),
+            "cdeadbeefcafe0123-dmux-h3-f17-s42-t0123456789abcdef-m2");
+  EXPECT_EQ(zoo::fnv1a64(""), zoo::kFnvOffset);
+  EXPECT_EQ(zoo::hex64(0), "0000000000000000");
+}
+
+TEST(Registry, InsertFindPinAndList) {
+  TempDir dir("registry");
+  const zoo::Registry reg(dir.path / "zoo");
+  EXPECT_FALSE(reg.contains("a"));
+  EXPECT_FALSE(reg.find("a").has_value());
+
+  reg.insert("a", "payload-a");
+  reg.insert("b", "payload-b-longer");
+  EXPECT_TRUE(reg.contains("a"));
+  const auto found = reg.find("a");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(slurp(*found), "payload-a");
+  EXPECT_EQ(reg.total_bytes(), 9u + 16u);
+
+  EXPECT_FALSE(reg.pinned("a"));
+  reg.pin("a");
+  EXPECT_TRUE(reg.pinned("a"));
+  reg.unpin("a");
+  EXPECT_FALSE(reg.pinned("a"));
+
+  // find() bumps the entry to most-recently-used, so "b" lists first.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(reg.entry_path("a"), now - std::chrono::hours(2));
+  fs::last_write_time(reg.entry_path("b"), now - std::chrono::hours(1));
+  (void)reg.find("b");
+  const auto entries = reg.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "a");
+  EXPECT_EQ(entries[1].key, "b");
+}
+
+TEST(Registry, ConcurrentSameKeyInsertsNeverExposeATorApartialBlob) {
+  TempDir dir("race");
+  const zoo::Registry reg(dir.path / "zoo");
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+
+  // Each writer's payload is distinctive and self-describing; a reader must
+  // only ever observe one writer's payload in full.
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    payloads.push_back(std::string(1024, static_cast<char>('A' + t)));
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) reg.insert("hot", payloads[t]);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto found = reg.find("hot");
+  ASSERT_TRUE(found.has_value());
+  const std::string got = slurp(*found);
+  bool intact = false;
+  for (const auto& p : payloads) intact |= (got == p);
+  EXPECT_TRUE(intact) << "destination is not any single writer's payload";
+  // The unique-temp-name contract: no stray temp should survive the joins
+  // (every writer renamed its own staging file).
+  for (const auto& e : fs::directory_iterator(dir.path / "zoo")) {
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+        << "leftover temp " << e.path();
+  }
+}
+
+TEST(Registry, GcEvictsStrictlyLruAndNeverPinned) {
+  TempDir dir("gc");
+  const zoo::Registry reg(dir.path / "zoo");
+  const std::string kb(1024, 'x');
+  reg.insert("old", kb);
+  reg.insert("mid", kb);
+  reg.insert("new", kb);
+  // Each entry owns a score cache that must leave with it.
+  common::atomic_write_file(reg.score_cache_path("old"), "scores-old");
+  common::atomic_write_file(reg.score_cache_path("new"), "scores-new");
+  // A stray temp from a crashed writer is swept too.
+  spew(dir.path / "zoo" / "dead.mzb.tmp.999.1", "partial");
+
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(reg.entry_path("old"), now - std::chrono::hours(3));
+  fs::last_write_time(reg.entry_path("mid"), now - std::chrono::hours(2));
+  fs::last_write_time(reg.entry_path("new"), now - std::chrono::hours(1));
+  reg.pin("old");
+
+  // Budget for one entry: "old" is LRU but pinned, so "mid" then "new" are
+  // the eviction candidates; evicting "mid" alone satisfies the budget
+  // (pinned bytes still count toward the kept total, so the budget must
+  // cover old + new).
+  const auto res = reg.gc(2 * 1024 + 64);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], "mid");
+  EXPECT_TRUE(reg.contains("old"));
+  EXPECT_FALSE(reg.contains("mid"));
+  EXPECT_TRUE(reg.contains("new"));
+  EXPECT_FALSE(fs::exists(dir.path / "zoo" / "dead.mzb.tmp.999.1"));
+  EXPECT_TRUE(fs::exists(reg.score_cache_path("old")));
+
+  // Everything unpinned goes at budget 0; the pinned entry survives, score
+  // cache and all.
+  const auto res0 = reg.gc(0);
+  ASSERT_EQ(res0.evicted.size(), 1u);
+  EXPECT_EQ(res0.evicted[0], "new");
+  EXPECT_FALSE(fs::exists(reg.score_cache_path("new")));
+  EXPECT_TRUE(reg.contains("old"));
+  EXPECT_GT(res0.bytes_kept, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-link score cache: LRU semantics, bit-exact persistence, corrupt files.
+
+TEST(ScoreCache, LruEvictionAndHitBumping) {
+  zoo::ScoreCache cache(2);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, 0.25);
+  cache.put(2, 0.5);
+  EXPECT_EQ(cache.get(1), 0.25);  // bumps 1 to MRU
+  cache.put(3, 0.75);             // evicts 2, the LRU
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1), 0.25);
+  EXPECT_EQ(cache.get(3), 0.75);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // put of an existing key replaces the value in place.
+  cache.put(1, 0.125);
+  EXPECT_EQ(cache.get(1), 0.125);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScoreCache, CapacityZeroDisables) {
+  zoo::ScoreCache cache(0);
+  cache.put(1, 0.5);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(ScoreCache, PersistenceIsBitExactAndPreservesLruOrder) {
+  TempDir dir("scc");
+  const fs::path p = dir.path / "c.msc";
+  zoo::ScoreCache cache(8);
+  // Values chosen so any decimal round-trip would betray itself.
+  const double denormal = 5e-324;
+  const double third = 1.0 / 3.0;
+  cache.put(10, -0.0);
+  cache.put(20, denormal);
+  cache.put(30, third);
+  (void)cache.get(10);  // 20 becomes the LRU
+  cache.save(p);
+
+  zoo::ScoreCache reloaded(3);
+  ASSERT_TRUE(reloaded.load(p));
+  EXPECT_EQ(reloaded.size(), 3u);
+  ASSERT_TRUE(reloaded.get(10).has_value());
+  EXPECT_TRUE(bit_equal(*reloaded.get(10), -0.0));
+  EXPECT_TRUE(bit_equal(*reloaded.get(20), denormal));
+  EXPECT_TRUE(bit_equal(*reloaded.get(30), third));
+
+  // LRU order survived the round trip: a reloaded cache at capacity evicts
+  // the same entry the original would have (20, before the gets above bump
+  // it — reload fresh to check).
+  zoo::ScoreCache order(3);
+  ASSERT_TRUE(order.load(p));
+  order.put(40, 1.0);  // one over capacity: 20 must go
+  EXPECT_FALSE(order.get(20).has_value());
+  EXPECT_TRUE(order.get(10).has_value());
+}
+
+TEST(ScoreCache, CorruptOrForeignFileLoadsAsEmpty) {
+  TempDir dir("scc-bad");
+  zoo::ScoreCache cache(4);
+
+  EXPECT_FALSE(cache.load(dir.path / "missing.msc"));
+  EXPECT_EQ(cache.size(), 0u);
+
+  spew(dir.path / "garbage.msc", "not a score cache at all");
+  EXPECT_FALSE(cache.load(dir.path / "garbage.msc"));
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A valid file with one flipped payload byte: CRC rejects it.
+  zoo::ScoreCache writer(4);
+  writer.put(1, 0.5);
+  writer.put(2, 0.75);
+  writer.save(dir.path / "good.msc");
+  std::string bytes = slurp(dir.path / "good.msc");
+  bytes[bytes.size() / 2] ^= 0x01;
+  spew(dir.path / "flipped.msc", bytes);
+  EXPECT_FALSE(cache.load(dir.path / "flipped.msc"));
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Truncation.
+  spew(dir.path / "trunc.msc", slurp(dir.path / "good.msc").substr(0, 13));
+  EXPECT_FALSE(cache.load(dir.path / "trunc.msc"));
+
+  // And the good file still loads (the cache recovers after bad loads).
+  EXPECT_TRUE(cache.load(dir.path / "good.msc"));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism contract: zoo-served, cache-served, copy-fallback,
+// and warm-started runs against one small locked circuit.
+
+void expect_same_attack_result(const core::MuxLinkResult& a, const core::MuxLinkResult& b,
+                               const char* what) {
+  ASSERT_EQ(a.key.size(), b.key.size()) << what;
+  for (std::size_t i = 0; i < a.key.size(); ++i) EXPECT_EQ(a.key[i], b.key[i]) << what;
+  ASSERT_EQ(a.likelihoods.size(), b.likelihoods.size()) << what;
+  for (std::size_t i = 0; i < a.likelihoods.size(); ++i) {
+    EXPECT_TRUE(bit_equal(a.likelihoods[i].score_a, b.likelihoods[i].score_a))
+        << what << " link " << i;
+    EXPECT_TRUE(bit_equal(a.likelihoods[i].score_b, b.likelihoods[i].score_b))
+        << what << " link " << i;
+  }
+}
+
+TEST(ZooEndToEnd, ServedRunsAreBitIdenticalToTheTrainingRun) {
+  netlist::Netlist original = [] {
+    circuitgen::CircuitSpec spec;
+    spec.seed = 5;
+    spec.num_gates = 160;
+    spec.num_inputs = 12;
+    spec.num_outputs = 6;
+    return circuitgen::generate(spec);
+  }();
+  locking::MuxLockOptions lo;
+  lo.key_bits = 8;
+  lo.seed = 9;
+  const auto design = locking::lock_dmux(original, lo);
+
+  TempDir dir("e2e");
+  core::MuxLinkOptions opts;
+  opts.epochs = 6;
+  opts.learning_rate = 1e-3;
+  opts.max_train_links = 200;
+  opts.seed = 3;
+  opts.use_zoo = true;
+  opts.zoo_dir = (dir.path / "zoo").string();
+  opts.scheme = "dmux";
+
+  // Cold: trains and populates the registry.
+  const auto cold = core::MuxLinkAttack(opts).run(design.netlist);
+  EXPECT_TRUE(cold.serving.zoo_enabled);
+  EXPECT_FALSE(cold.serving.zoo_hit);
+  EXPECT_FALSE(cold.serving.zoo_key.empty());
+
+  // Warm: mmap-served, score-cache hits, bit-identical.
+  const auto warm = core::MuxLinkAttack(opts).run(design.netlist);
+  EXPECT_TRUE(warm.serving.zoo_hit);
+  EXPECT_EQ(warm.serving.zoo_key, cold.serving.zoo_key);
+  EXPECT_GT(warm.serving.bytes_mapped, 0u);
+  EXPECT_GT(warm.serving.cache_hits, 0u);
+  expect_same_attack_result(cold, warm, "warm");
+
+  // Fresh: score cache cleared, scores recomputed through the mapping.
+  fs::remove_all(dir.path / "zoo" / "scores");
+  fs::create_directories(dir.path / "zoo" / "scores");
+  const auto fresh = core::MuxLinkAttack(opts).run(design.netlist);
+  EXPECT_TRUE(fresh.serving.zoo_hit);
+  EXPECT_EQ(fresh.serving.cache_hits, 0u);
+  expect_same_attack_result(cold, fresh, "fresh");
+
+  // Copy fallback: MUXLINK_ZOO_MMAP=0 must not change a single bit.
+  ::setenv("MUXLINK_ZOO_MMAP", "0", 1);
+  const auto nomap = core::MuxLinkAttack(opts).run(design.netlist);
+  ::unsetenv("MUXLINK_ZOO_MMAP");
+  EXPECT_TRUE(nomap.serving.zoo_hit);
+  EXPECT_EQ(nomap.serving.bytes_mapped, 0u);
+  expect_same_attack_result(cold, nomap, "nomap");
+
+  // A corrupted blob falls back to training (and repairs the entry), never
+  // to a wrong answer.
+  {
+    const zoo::Registry reg(dir.path / "zoo");
+    const auto path = reg.entry_path(cold.serving.zoo_key);
+    std::string bytes = slurp(path);
+    bytes[bytes.size() - 5] ^= 0x10;
+    spew(path, bytes);
+  }
+  const auto repaired = core::MuxLinkAttack(opts).run(design.netlist);
+  EXPECT_FALSE(repaired.serving.zoo_hit);
+  expect_same_attack_result(cold, repaired, "repaired");
+
+  // Warm start: fine-tunes from the stored entry, registers under its own
+  // key (coherence: it can never serve a cold run), and is itself
+  // deterministic — a second warm-started run is served and bit-identical.
+  core::MuxLinkOptions wopts = opts;
+  wopts.warm_start = cold.serving.zoo_key;
+  wopts.warm_epochs = 2;
+  const auto tuned = core::MuxLinkAttack(wopts).run(design.netlist);
+  EXPECT_TRUE(tuned.serving.warm_start);
+  EXPECT_FALSE(tuned.serving.zoo_hit);
+  EXPECT_NE(tuned.serving.zoo_key, cold.serving.zoo_key);
+
+  const auto tuned_again = core::MuxLinkAttack(wopts).run(design.netlist);
+  EXPECT_TRUE(tuned_again.serving.zoo_hit);
+  EXPECT_EQ(tuned_again.serving.zoo_key, tuned.serving.zoo_key);
+  expect_same_attack_result(tuned, tuned_again, "tuned");
+}
+
+}  // namespace
+}  // namespace muxlink

@@ -13,6 +13,10 @@
 //                  [--scheme LABEL] [--patterns N]
 //                  [--checkpoint-dir D] [--checkpoint-every N] [--resume]
 //                  [--clip-grad X] [--save-model model.txt] [--simd MODE]
+//                  [--zoo] [--zoo-dir D] [--warm-start REF]
+//                  [--warm-epochs N] [--warm-lr-scale X] [--no-score-cache]
+//   muxlink zoo list|info|gc|pin|unpin [<key>] [--zoo-dir D]
+//                  [--max-bytes N]
 //   muxlink saam <locked.bench>
 //   muxlink scope <locked.bench>
 //   muxlink hd <a.bench> <b.bench> [--patterns N] [--key BITSTRING]
@@ -48,6 +52,8 @@
 #include "netlist/verilog_io.h"
 #include "sim/simulator.h"
 #include "tools/cli_args.h"
+#include "zoo/model_blob.h"
+#include "zoo/registry.h"
 
 namespace {
 
@@ -104,6 +110,20 @@ commands:
        [--simd MODE]     training kernel set: auto (default), avx2, scalar;
                          also settable via MUXLINK_SIMD. avx2 errors out on
                          hardware without AVX2+FMA instead of downgrading
+       [--zoo]           serve/register trained models in the content-
+                         addressed zoo; a repeated run mmaps the stored
+                         weights and skips sampling + training entirely
+       [--zoo-dir D]     registry directory (default: MUXLINK_ZOO env, else
+                         ~/.cache/muxlink/zoo)
+       [--warm-start R]  fine-tune from a zoo key or blob file instead of
+                         training from scratch (implies --zoo)
+       [--warm-epochs N] fine-tuning epoch budget (default epochs/4, min 1)
+       [--warm-lr-scale X]  fine-tuning LR = --lr * X (default 0.1)
+       [--no-score-cache]   disable the per-link score cache
+  zoo list [--zoo-dir D]                       registry entries, LRU first
+  zoo info <key> [--zoo-dir D]                 one entry's stored metadata
+  zoo gc --max-bytes N [--zoo-dir D]           evict LRU entries over budget
+  zoo pin|unpin <key> [--zoo-dir D]            protect an entry from gc
   saam <locked.bench>                          structural SAAM attack
   scope <locked.bench>                         unsupervised SCOPE attack
   hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
@@ -245,7 +265,8 @@ int cmd_attack(const CliArgs& args) {
   args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover",
                    "threads", "report", "telemetry", "truth-key", "orig", "scheme",
                    "patterns", "checkpoint-dir", "checkpoint-every", "resume", "clip-grad",
-                   "save-model", "simd"});
+                   "save-model", "simd", "zoo", "zoo-dir", "warm-start", "warm-epochs",
+                   "warm-lr-scale", "no-score-cache"});
   if (args.positional().size() != 1) return usage();
   if (const long t = args.get_long("threads", 0); t > 0) {
     common::set_num_threads(static_cast<std::size_t>(t));
@@ -267,6 +288,13 @@ int cmd_attack(const CliArgs& args) {
   opts.resume = args.has("resume");
   opts.clip_grad = args.get_double("clip-grad", 0.0);
   opts.model_out = args.get_or("save-model", "");
+  opts.scheme = args.get_or("scheme", "");
+  opts.zoo_dir = args.get_or("zoo-dir", "");
+  opts.warm_start = args.get_or("warm-start", "");
+  opts.warm_epochs = static_cast<int>(args.get_long("warm-epochs", 0));
+  opts.warm_lr_scale = args.get_double("warm-lr-scale", 0.1);
+  opts.use_zoo = args.has("zoo") || args.has("zoo-dir") || !opts.warm_start.empty();
+  opts.score_cache = !args.has("no-score-cache");
   if (opts.resume && opts.checkpoint_dir.empty()) {
     throw std::invalid_argument("--resume requires --checkpoint-dir");
   }
@@ -283,6 +311,19 @@ int cmd_attack(const CliArgs& args) {
   }
   if (result.training.rollbacks > 0) {
     std::cout << "divergence rollbacks: " << result.training.rollbacks << "\n";
+  }
+  if (result.serving.zoo_enabled) {
+    std::cout << "zoo " << (result.serving.zoo_hit ? "hit" : "miss") << " ("
+              << result.serving.zoo_key << ")";
+    if (result.serving.zoo_hit) {
+      std::cout << ", " << result.serving.bytes_mapped << " bytes mapped";
+    }
+    if (result.serving.warm_start) std::cout << ", warm-started";
+    if (result.serving.cache_hits + result.serving.cache_misses > 0) {
+      std::cout << "; score cache " << result.serving.cache_hits << "/"
+                << (result.serving.cache_hits + result.serving.cache_misses) << " hits";
+    }
+    std::cout << "\n";
   }
   if (const auto key_out = args.get("key-out")) write_text(*key_out, render_key(result.key) + "\n");
 
@@ -348,12 +389,75 @@ int cmd_attack(const CliArgs& args) {
     extra["rollbacks"] = result.training.rollbacks;
     extra["resumed_from_epoch"] = result.training.resumed_from_epoch;
     extra["cpu"] = gnn::cpu_info_json();
+    if (result.serving.zoo_enabled) {
+      common::Json serving = common::Json::object();
+      serving["zoo_hit"] = result.serving.zoo_hit;
+      serving["warm_start"] = result.serving.warm_start;
+      serving["zoo_key"] = result.serving.zoo_key;
+      serving["cache_hits"] = result.serving.cache_hits;
+      serving["cache_misses"] = result.serving.cache_misses;
+      serving["bytes_mapped"] = static_cast<long long>(result.serving.bytes_mapped);
+      extra["serving"] = std::move(serving);
+    }
     m.extra = std::move(extra);
     m.observability = common::observability_to_json();
     write_text(*report, m.to_json().dump_pretty() + "\n");
     std::cout << "wrote " << *report << "\n";
   }
   return 0;
+}
+
+// muxlink zoo <list|info|gc|pin|unpin> — registry maintenance.
+int cmd_zoo(const CliArgs& args) {
+  args.allow_only({"zoo-dir", "max-bytes"});
+  if (args.positional().empty()) return usage();
+  const std::string verb = args.positional()[0];
+  const zoo::Registry registry(zoo::Registry::resolve_dir(args.get_or("zoo-dir", "")));
+
+  if (verb == "list") {
+    if (args.positional().size() != 1) return usage();
+    const auto entries = registry.list();
+    std::uintmax_t total = 0;
+    for (const auto& e : entries) {
+      std::cout << (e.pinned ? "* " : "  ") << e.key << "  " << e.bytes << " bytes\n";
+      total += e.bytes;
+    }
+    std::cout << entries.size() << " entries, " << total << " bytes in " << registry.dir()
+              << " (* = pinned, least recently used first)\n";
+    return 0;
+  }
+  if (verb == "info") {
+    if (args.positional().size() != 2) return usage();
+    const std::string& key = args.positional()[1];
+    const auto path = registry.entry_path(key);
+    std::cout << zoo::read_blob_meta(path).dump_pretty() << "\n";
+    std::cout << "path: " << path << (registry.pinned(key) ? " (pinned)" : "") << "\n";
+    return 0;
+  }
+  if (verb == "gc") {
+    if (args.positional().size() != 1) return usage();
+    const auto max_bytes = args.get_long("max-bytes", -1);
+    if (max_bytes < 0) throw std::invalid_argument("zoo gc requires --max-bytes");
+    const auto r = registry.gc(static_cast<std::uintmax_t>(max_bytes));
+    for (const auto& key : r.evicted) std::cout << "evicted " << key << "\n";
+    std::cout << "freed " << r.bytes_freed << " bytes, kept " << r.bytes_kept << "\n";
+    return 0;
+  }
+  if (verb == "pin" || verb == "unpin") {
+    if (args.positional().size() != 2) return usage();
+    const std::string& key = args.positional()[1];
+    if (!registry.contains(key)) {
+      throw zoo::ZooError("no registry entry '" + key + "' in " + registry.dir().string());
+    }
+    if (verb == "pin") {
+      registry.pin(key);
+    } else {
+      registry.unpin(key);
+    }
+    std::cout << (verb == "pin" ? "pinned " : "unpinned ") << key << "\n";
+    return 0;
+  }
+  return usage();
 }
 
 int cmd_simple_attack(const CliArgs& args, bool saam) {
@@ -401,6 +505,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "lock") return cmd_lock(args);
     if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "zoo") return cmd_zoo(args);
     if (cmd == "saam") return cmd_simple_attack(args, true);
     if (cmd == "scope") return cmd_simple_attack(args, false);
     if (cmd == "hd") return cmd_hd(args);
@@ -409,6 +514,9 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   } catch (const gnn::ModelFormatError& e) {
+    std::cerr << "model format error: " << e.what() << "\n";
+    return 4;
+  } catch (const zoo::ZooError& e) {  // zoo blobs are model files too
     std::cerr << "model format error: " << e.what() << "\n";
     return 4;
   } catch (const gnn::CheckpointError& e) {

@@ -1,15 +1,18 @@
 // report_md — renders muxlink.run/v1 manifests as Markdown tables.
 //
 //   report_md <run1.json> [run2.json ...] [--out table.md]
+//   report_md --serving <run1.json> [run2.json ...] [--out table.md]
 //   report_md --check <run1.json> [run2.json ...]
 //
 // Default mode reads one or more RunManifest JSON files (as written by
 // `muxlink attack --report`, tools/bench_pipeline, or tools/bench_kernels)
 // and emits the paper-style reproduction table used by EXPERIMENTS.md:
 // one row per run with AC/PC/KPA/HD where the run measured them, plus the
-// training stats every attack run records. --check validates the manifests
-// instead (schema tag, provenance fields, stage/result sanity) and prints
-// one OK/FAIL line per file; exit 1 if any file fails.
+// training stats every attack run records. --serving renders bench_serving
+// manifests as the cold-vs-warm serving table instead (EXPERIMENTS.md,
+// DESIGN.md §11). --check validates the manifests (schema tag, provenance
+// fields, stage/result sanity) and prints one OK/FAIL line per file; exit 1
+// if any file fails.
 //
 // Exit code 0 on success, 1 on validation failure or CLI misuse, 2 on
 // processing errors (unreadable file, malformed JSON).
@@ -120,16 +123,46 @@ std::string render_table(const std::vector<RunManifest>& runs) {
   return md.str();
 }
 
+// Cold-vs-warm serving table for tools/bench_serving manifests.
+std::string render_serving_table(const std::vector<RunManifest>& runs) {
+  std::ostringstream md;
+  md << "| Circuit | K | Cold s | Warm s | Speedup | Bit-identical | MBytes mapped "
+        "| Cache hits |\n";
+  md << "|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const RunManifest& m : runs) {
+    const double hits = result_or_nan(m, "cache_hits");
+    const double misses = result_or_nan(m, "cache_misses");
+    std::string hit_cell = "—";
+    if (!std::isnan(hits) && !std::isnan(misses)) {
+      hit_cell = cell(hits, 0) + "/" + cell(hits + misses, 0);
+    }
+    md << "| " << m.circuit << " | ";
+    if (m.key_bits >= 0) {
+      md << m.key_bits;
+    } else {
+      md << "—";
+    }
+    md << " | " << cell(stage_or_nan(m, "cold_total"), 3)
+       << " | " << cell(stage_or_nan(m, "warm_total"), 3)
+       << " | " << cell(result_or_nan(m, "warm_speedup"), 1) << "x"
+       << " | " << (result_or_nan(m, "bit_identical") == 1.0 ? "yes" : "**NO**")
+       << " | " << cell(result_or_nan(m, "bytes_mapped") / (1024.0 * 1024.0), 2)
+       << " | " << hit_cell << " |\n";
+  }
+  return md.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const muxlink::tools::CliArgs args(argc - 1, argv + 1);
   try {
-    args.allow_only({"out", "check"});
+    args.allow_only({"out", "check", "serving"});
     std::vector<std::string> paths = args.positional();
-    // The parser binds "--check run.json" as the flag's value; that token is
-    // really the first manifest path.
+    // The parser binds "--check run.json" / "--serving run.json" as the
+    // flag's value; that token is really the first manifest path.
     if (const auto v = args.get("check"); v && !v->empty()) paths.insert(paths.begin(), *v);
+    if (const auto v = args.get("serving"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (paths.empty()) {
       std::cerr << "usage: report_md <run.json>... [--out F]  |  report_md --check <run.json>...\n";
       return 1;
@@ -150,7 +183,8 @@ int main(int argc, char** argv) {
       if (a.scheme != b.scheme) return a.scheme < b.scheme;
       return a.key_bits < b.key_bits;
     });
-    const std::string md = render_table(runs);
+    const std::string md =
+        args.has("serving") ? render_serving_table(runs) : render_table(runs);
     if (const auto out = args.get("out")) {
       std::ofstream os(*out);
       if (!os) throw std::runtime_error("cannot write '" + *out + "'");
