@@ -15,6 +15,11 @@
 #                    # registry, the warm rerun must be served (mmap),
 #                    # bit-identical, and faster; plus an ASan+UBSan pass
 #                    # over the mmap/score-cache path
+#   ./ci.sh campaign # tiny defense x attack sweep on c432: per-cell +
+#                    # aggregate manifests validate with report_md --check,
+#                    # the aggregate is byte-identical across worker counts,
+#                    # --campaign renders, CLI usage errors exit 1, and the
+#                    # CLI-parse/campaign suites pass under ASan+UBSan
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -70,9 +75,11 @@ run_docs() {
 
   # Validate the fresh manifest plus every committed one.
   build/tools/report_md --check "$d/run.json" manifests/*.json \
+    manifests/campaign/*.json \
     BENCH_pipeline.json BENCH_kernels.json BENCH_serving.json
-  # And make sure the renderer accepts them.
+  # And make sure the renderers accept them.
   build/tools/report_md manifests/*.json >/dev/null
+  build/tools/report_md --campaign manifests/campaign/campaign.json >/dev/null
   rm -rf "$d"
 
   # Intra-repo Markdown links must resolve (external URLs are skipped).
@@ -231,6 +238,63 @@ run_serving() {
   rm -rf "$d"
 }
 
+run_campaign() {
+  echo "== campaign: defense x attack sweep gate =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target muxlink_cli report_md
+  local d cli
+  d="$(mktemp -d)"
+  cli=build/tools/muxlink
+
+  # CLI usage errors are exit-1 with a message, never a leaked exception.
+  local rc=0
+  "$cli" attack missing.bench --threads abc 2>"$d/err" || rc=$?
+  [ "$rc" -eq 1 ] || { echo "--threads abc exited $rc, want 1" >&2; rm -rf "$d"; return 1; }
+  grep -q -- "--threads" "$d/err" \
+    || { echo "usage error does not name the flag" >&2; rm -rf "$d"; return 1; }
+  if "$cli" campaign --schemes bogus --circuits c432 --out-dir "$d/x" 2>"$d/err"; then
+    echo "bogus scheme did not fail" >&2; rm -rf "$d"; return 1
+  fi
+  grep -q "valid:" "$d/err" \
+    || { echo "scheme error does not list valid schemes" >&2; rm -rf "$d"; return 1; }
+
+  # Tiny 2x2 sweep on c432, twice at different worker counts: every manifest
+  # must validate and the aggregates must be byte-identical.
+  "$cli" campaign --schemes dmux,simll --circuits c432 --attacks muxlink,untangle \
+    --key-bits 8 --scale 0.5 --epochs 2 --hd-patterns 200 --seed 1 \
+    --workers 1 --out-dir "$d/camp1" >/dev/null
+  "$cli" campaign --schemes dmux,simll --circuits c432 --attacks muxlink,untangle \
+    --key-bits 8 --scale 0.5 --epochs 2 --hd-patterns 200 --seed 1 \
+    --workers 4 --out-dir "$d/camp4" >/dev/null
+  cmp "$d/camp1/campaign.json" "$d/camp4/campaign.json" \
+    || { echo "aggregate differs across worker counts" >&2; rm -rf "$d"; return 1; }
+  build/tools/report_md --check "$d"/camp1/*.json
+  build/tools/report_md --campaign "$d/camp1/campaign.json" | grep -q "Verdict" \
+    || { echo "--campaign render lacks the verdict column" >&2; rm -rf "$d"; return 1; }
+
+  # A resumed sweep must reuse every cell and still write the same bytes.
+  "$cli" campaign --schemes dmux,simll --circuits c432 --attacks muxlink,untangle \
+    --key-bits 8 --scale 0.5 --epochs 2 --hd-patterns 200 --seed 1 \
+    --workers 1 --out-dir "$d/camp1" --resume | grep -q "4 cells (4 resumed)" \
+    || { echo "resume did not reuse the persisted cells" >&2; rm -rf "$d"; return 1; }
+  cmp "$d/camp1/campaign.json" "$d/camp4/campaign.json" \
+    || { echo "resume perturbed the aggregate" >&2; rm -rf "$d"; return 1; }
+  rm -rf "$d"
+
+  # Sanitized pass over the CLI parser and the sweep machinery.
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs" --target test_cli_args test_campaign
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tests/test_cli_args >/dev/null
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tests/test_campaign >/dev/null
+}
+
 case "$stage" in
   tier1)  run_tier1 ;;
   san)    run_san ;;
@@ -238,7 +302,8 @@ case "$stage" in
   faults) run_faults ;;
   simd)   run_simd ;;
   serving) run_serving ;;
-  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving ;;
-  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|all]" >&2; exit 64 ;;
+  campaign) run_campaign ;;
+  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving; run_campaign ;;
+  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|campaign|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

@@ -104,4 +104,57 @@ std::vector<TracedLocality> group_localities(const Netlist& locked,
   return localities;
 }
 
+namespace {
+
+// Depth-first expansion of one key-MUX tree. `value` selects input_a (0) or
+// input_b (1); descending into another key MUX accumulates its assignment,
+// any other gate terminates the path as a candidate leaf.
+void expand_routing(const std::vector<TracedMux>& muxes,
+                    const std::map<GateId, std::size_t>& mux_of_gate, std::size_t idx,
+                    std::vector<std::pair<int, int>>& path, std::vector<RoutingCandidate>& out) {
+  const TracedMux& m = muxes[idx];
+  for (int value = 0; value <= 1; ++value) {
+    bool conflict = false;
+    bool duplicate = false;
+    for (const auto& [bit, v] : path) {
+      if (bit != m.key_bit) continue;
+      (v == value ? duplicate : conflict) = true;
+    }
+    if (conflict) continue;  // infeasible under any single key
+    if (!duplicate) path.emplace_back(m.key_bit, value);
+    const GateId child = value == 0 ? m.input_a : m.input_b;
+    const auto it = mux_of_gate.find(child);
+    if (it != mux_of_gate.end()) {
+      expand_routing(muxes, mux_of_gate, it->second, path, out);
+    } else {
+      out.push_back(RoutingCandidate{child, path});
+    }
+    if (!duplicate) path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<RoutingQuery> trace_routing_queries(const Netlist& locked,
+                                                const std::vector<TracedMux>& muxes) {
+  (void)locked;
+  std::map<GateId, std::size_t> mux_of_gate;
+  for (std::size_t i = 0; i < muxes.size(); ++i) mux_of_gate[muxes[i].mux] = i;
+
+  std::vector<RoutingQuery> queries;
+  for (std::size_t i = 0; i < muxes.size(); ++i) {
+    // Roots are MUXes whose sink is not another key MUX; inner tree nodes
+    // are reached through their parent's expansion instead.
+    if (mux_of_gate.contains(muxes[i].sink)) continue;
+    RoutingQuery q;
+    q.root_mux = muxes[i].mux;
+    q.sink = muxes[i].sink;
+    q.sink_port = muxes[i].sink_port;
+    std::vector<std::pair<int, int>> path;
+    expand_routing(muxes, mux_of_gate, i, path, q.candidates);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
 }  // namespace muxlink::attacks

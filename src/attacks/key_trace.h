@@ -46,4 +46,26 @@ struct TracedLocality {
 std::vector<TracedLocality> group_localities(const netlist::Netlist& locked,
                                              const std::vector<TracedMux>& muxes);
 
+// UNTANGLE-style routing view. Key MUXes chained through data inputs form a
+// tree; each tree is one routing *query*: which of the tree's leaf drivers
+// is actually routed to the sink the root MUX drives? Committing to a leaf
+// implies every (key bit, value) assignment accumulated on its root-to-leaf
+// path. On the 1-level MUX schemes (D-MUX, symmetric, SimLL, deceptive)
+// every query degenerates to the two data inputs of a single MUX.
+struct RoutingCandidate {
+  netlist::GateId driver = netlist::kNullGate;    // leaf wire (not a key MUX)
+  std::vector<std::pair<int, int>> assignments;   // (key_bit, value) on the path
+};
+struct RoutingQuery {
+  netlist::GateId root_mux = netlist::kNullGate;  // tree root (its sink is no key MUX)
+  netlist::GateId sink = netlist::kNullGate;      // gate the root MUX drives
+  std::uint32_t sink_port = 0;
+  std::vector<RoutingCandidate> candidates;
+};
+// Groups the traced MUXes into routing queries, one per tree root, in root
+// trace order. Candidates whose path assigns conflicting values to one key
+// bit are infeasible and dropped.
+std::vector<RoutingQuery> trace_routing_queries(const netlist::Netlist& locked,
+                                                const std::vector<TracedMux>& muxes);
+
 }  // namespace muxlink::attacks

@@ -1,0 +1,83 @@
+#include "locking/deceptive.h"
+
+#include <random>
+
+#include "common/metrics.h"
+#include "locking/mux_insert.h"
+
+namespace muxlink::locking {
+
+namespace {
+
+using detail::MuxLocker;
+using netlist::GateId;
+using netlist::GateType;
+
+// Inserts one dummy key bit: MUX(k, w, BUF(w)) in front of a free sink of
+// w. Both MUX inputs carry the same value, so the bit never affects the
+// circuit; which input is recorded as the "true" driver is a coin flip.
+bool lock_one_dummy_bit(MuxLocker& lk, int attempts = 256) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const auto pair = lk.pick_pair([&](GateId g) { return lk.usable_as_locked_node(g); });
+    if (!pair) return false;
+    const GateId w = pair->first;
+    const auto gi = lk.pick_free_sink(w);
+    if (!gi) continue;
+    auto& design = lk.design();
+    const GateId buf = design.netlist.add_gate(
+        "decoybuf" + std::to_string(design.key_gates.size()), GateType::kBuf, {w});
+    const int ki = lk.new_key_bit();
+    std::uniform_int_distribution<int> coin(0, 1);
+    GateId t = w;
+    GateId f = buf;
+    if (coin(lk.rng()) != 0) std::swap(t, f);
+    const auto m = lk.insert_mux(ki, t, f, gi->sink, gi->port);
+    // insert_mux only charges the true driver; w's sink port is consumed
+    // either way, so charge it explicitly when the BUF copy won the flip.
+    if (t != w) lk.consume_free_sink(w);
+    lk.mark_locked(w);
+    design.localities.push_back({Strategy::kDecoy, {m}});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LockedDesign lock_deceptive(const netlist::Netlist& original, const MuxLockOptions& opts) {
+  MUXLINK_TRACE("lock.deceptive");
+  MuxLocker lk(original, opts, "deceptive");
+  // Alternate dummy and real insertions so roughly half the key is
+  // deceptive; a real eD-MUX locality may consume two bits, which only
+  // shifts the ratio, never the invariants.
+  bool dummy_turn = true;
+  bool dummy_viable = true;
+  bool real_viable = true;
+  while (lk.design().key.size() < opts.key_bits && (dummy_viable || real_viable)) {
+    if (dummy_turn && dummy_viable) {
+      dummy_viable = lock_one_dummy_bit(lk);
+    } else if (real_viable) {
+      const std::size_t remaining = opts.key_bits - lk.design().key.size();
+      real_viable = detail::lock_one_dmux_locality(lk, remaining, opts.enhanced) != 0;
+    }
+    dummy_turn = !dummy_turn;
+  }
+  LockedDesign d = std::move(lk).take();
+  detail::check_result(d, opts);
+  d.netlist.validate();
+  MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
+  return d;
+}
+
+std::vector<int> dummy_key_bits(const LockedDesign& d) {
+  std::vector<int> bits;
+  for (const Locality& loc : d.localities) {
+    if (loc.strategy != Strategy::kDecoy) continue;
+    for (const std::size_t kg : loc.key_gates) {
+      bits.push_back(d.key_gates[kg].key_bit);
+    }
+  }
+  return bits;
+}
+
+}  // namespace muxlink::locking

@@ -1,0 +1,25 @@
+// Deceptive MUX locking (scenario-matrix defense, after Sisejkovic et al.).
+//
+// Alternates real eD-MUX localities with *dummy* key bits: MUX(k, w, BUF(w))
+// where both data inputs carry the same signal. A dummy bit has no
+// functional effect under either key value — the recorded truth value is a
+// coin flip — so a perfect link-prediction attacker still scores ~50% on
+// the dummy half of the key while the circuit's output corruption stays
+// identical to D-MUX. The deception shows up as an accuracy ceiling in the
+// campaign resilience table, not as extra output corruption.
+#pragma once
+
+#include <vector>
+
+#include "locking/mux_lock.h"
+
+namespace muxlink::locking {
+
+LockedDesign lock_deceptive(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+// Indices of the dummy key bits of a deceptive design (bits whose value is
+// functionally irrelevant), derived from the kDecoy localities. Empty for
+// designs produced by any other scheme.
+std::vector<int> dummy_key_bits(const LockedDesign& d);
+
+}  // namespace muxlink::locking

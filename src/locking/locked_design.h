@@ -14,7 +14,7 @@ namespace muxlink::locking {
 // "trace the key-inputs from the tamper-proof memory" step of the paper).
 inline constexpr const char* kKeyInputPrefix = "keyinput";
 
-// Locking strategies (Fig. 4 of the paper).
+// Locking strategies (Fig. 4 of the paper, plus the scenario-matrix schemes).
 enum class Strategy : std::uint8_t {
   kXor,       // classic XOR/XNOR locking (Fig. 1, baseline)
   kNaiveMux,  // unprotected MUX locking (Fig. 1, SAAM-vulnerable baseline)
@@ -23,6 +23,8 @@ enum class Strategy : std::uint8_t {
   kS3,        // D-MUX: SO decoy + MO locked node, one MUX, one key-bit
   kS4,        // D-MUX: unrestricted pair, two MUXes, one shared key-bit
   kS5,        // symmetric MUX locking [14]: two SO nodes, two MUXes, two key-bits
+  kSimilar,   // SimLL: S4-shaped pair of structurally confusable nets
+  kDecoy,     // deceptive locking: dummy key bit, MUX(k, w, BUF(w))
 };
 
 std::string_view to_string(Strategy s) noexcept;

@@ -1,0 +1,114 @@
+#include "locking/mux_insert.h"
+
+namespace muxlink::locking::detail {
+
+using netlist::GateId;
+
+std::size_t lock_one_dmux_locality(MuxLocker& lk, std::size_t bits_remaining, bool enhanced,
+                                   int attempts) {
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const auto pair = lk.pick_pair([&](GateId g) { return lk.usable_as_locked_node(g); });
+    if (!pair) return 0;
+    auto [fi, fj] = *pair;
+
+    const bool fi_mo = lk.free_sink_count(fi) >= 2;
+    const bool fj_mo = lk.free_sink_count(fj) >= 2;
+
+    Strategy strategy;
+    if (!enhanced) {
+      strategy = Strategy::kS4;
+    } else if (fi_mo && fj_mo) {
+      strategy = (bits_remaining >= 2 && coin(lk.rng()) == 0) ? Strategy::kS1 : Strategy::kS2;
+    } else if (fi_mo != fj_mo) {
+      strategy = Strategy::kS3;
+      if (!fj_mo) std::swap(fi, fj);  // canonical: fj is the MO locked node
+    } else {
+      strategy = Strategy::kS4;
+    }
+
+    switch (strategy) {
+      case Strategy::kS1: {
+        // Two MUXes, two key bits; both nodes are MO so a wrong key always
+        // leaves them driving their remaining free sinks.
+        const auto gi = lk.pick_free_sink(fi);
+        const auto gj = lk.pick_free_sink(fj);
+        if (!gi || !gj || gi->sink == gj->sink) break;
+        if (lk.would_loop(fj, gi->sink) || lk.would_loop(fi, gj->sink)) break;
+        const int ki = lk.new_key_bit();
+        const int kj = lk.new_key_bit();
+        const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
+        const auto m2 = lk.insert_mux(kj, fj, fi, gj->sink, gj->port);
+        lk.mark_locked(fi);
+        lk.mark_locked(fj);
+        lk.design().localities.push_back({Strategy::kS1, {m1, m2}});
+        return 2;
+      }
+      case Strategy::kS2: {
+        // One MUX, one key bit, decoy fj (tap only).
+        const auto gi = lk.pick_free_sink(fi);
+        if (!gi) break;
+        if (lk.would_loop(fj, gi->sink)) break;
+        const int ki = lk.new_key_bit();
+        const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
+        lk.mark_locked(fi);
+        lk.design().localities.push_back({Strategy::kS2, {m1}});
+        return 1;
+      }
+      case Strategy::kS3: {
+        // fj is MO and gets its sink locked; fi (SO) is the decoy tap.
+        const auto gj = lk.pick_free_sink(fj);
+        if (!gj) break;
+        if (lk.would_loop(fi, gj->sink)) break;
+        const int ki = lk.new_key_bit();
+        const auto m1 = lk.insert_mux(ki, fj, fi, gj->sink, gj->port);
+        lk.mark_locked(fj);
+        lk.design().localities.push_back({Strategy::kS3, {m1}});
+        return 1;
+      }
+      case Strategy::kS4: {
+        // Two MUXes share one key bit with opposite input orders: a wrong
+        // key swaps the two wires, never disconnecting either node.
+        const auto gi = lk.pick_free_sink(fi);
+        const auto gj = lk.pick_free_sink(fj);
+        if (!gi || !gj || gi->sink == gj->sink) break;
+        if (lk.would_loop(fj, gi->sink) || lk.would_loop(fi, gj->sink)) break;
+        const int ki = lk.new_key_bit();
+        const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
+        const auto m2 = lk.insert_mux(ki, fj, fi, gj->sink, gj->port);
+        lk.mark_locked(fi);
+        lk.mark_locked(fj);
+        lk.design().localities.push_back({Strategy::kS4, {m1, m2}});
+        return 1;
+      }
+      default:
+        break;
+    }
+  }
+  return 0;
+}
+
+bool insert_s4_pair(MuxLocker& lk, GateId fi, GateId fj, Strategy strategy) {
+  const auto gi = lk.pick_free_sink(fi);
+  const auto gj = lk.pick_free_sink(fj);
+  if (!gi || !gj || gi->sink == gj->sink) return false;
+  if (lk.would_loop(fj, gi->sink) || lk.would_loop(fi, gj->sink)) return false;
+  const int ki = lk.new_key_bit();
+  const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
+  const auto m2 = lk.insert_mux(ki, fj, fi, gj->sink, gj->port);
+  lk.mark_locked(fi);
+  lk.mark_locked(fj);
+  lk.design().localities.push_back({strategy, {m1, m2}});
+  return true;
+}
+
+void check_result(const LockedDesign& d, const MuxLockOptions& opts) {
+  if (d.key.size() < opts.key_bits && !opts.allow_partial) {
+    throw std::invalid_argument("locking: only " + std::to_string(d.key.size()) + " of " +
+                                std::to_string(opts.key_bits) + " key bits fit in '" +
+                                d.netlist.name() + "' (set allow_partial to accept)");
+  }
+}
+
+}  // namespace muxlink::locking::detail

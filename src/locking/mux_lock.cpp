@@ -1,15 +1,14 @@
 #include "locking/mux_lock.h"
 
-#include <algorithm>
 #include <random>
-#include <set>
 #include <stdexcept>
 
 #include "common/metrics.h"
-#include "netlist/analysis.h"
+#include "locking/mux_insert.h"
 
 namespace muxlink::locking {
 
+using detail::MuxLocker;
 using netlist::GateId;
 using netlist::GateType;
 using netlist::kNullGate;
@@ -31,6 +30,10 @@ std::string_view to_string(Strategy s) noexcept {
       return "S4";
     case Strategy::kS5:
       return "S5";
+    case Strategy::kSimilar:
+      return "SimLL";
+    case Strategy::kDecoy:
+      return "decoy";
   }
   return "?";
 }
@@ -43,216 +46,6 @@ std::string LockedDesign::key_string() const {
 }
 
 namespace {
-
-class LockingError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-// Shared insertion machinery for the MUX-based schemes.
-class MuxLocker {
- public:
-  MuxLocker(const Netlist& original, const MuxLockOptions& opts, std::string scheme)
-      : opts_(opts), rng_(opts.seed) {
-    design_.netlist = original;  // deep copy
-    design_.scheme = std::move(scheme);
-    original_gate_count_ = original.num_gates();
-    free_sinks_.resize(original.num_gates());
-    for (GateId g = 0; g < original.num_gates(); ++g) {
-      free_sinks_[g] = original.fanouts()[g].size();  // ports, original only
-    }
-    locked_role_.assign(original.num_gates(), false);
-  }
-
-  LockedDesign take() && { return std::move(design_); }
-
-  // --- candidate classification -----------------------------------------
-
-  bool is_logic_gate(GateId g) const {
-    const GateType t = design_.netlist.gate(g).type;
-    return g < original_gate_count_ && t != GateType::kInput && !netlist::is_constant(t);
-  }
-
-  // A node is "lockable-MO" when >= 2 of its original sink ports are still
-  // free (so locking one leaves a guaranteed connection), "lockable-SO"
-  // when exactly 1 is free.
-  std::size_t free_sink_count(GateId g) const { return free_sinks_[g]; }
-
-  bool usable_as_locked_node(GateId g) const {
-    return is_logic_gate(g) && !locked_role_[g] && free_sink_count(g) >= 1;
-  }
-
-  // Picks a uniformly random still-free original sink port of `f`.
-  std::optional<netlist::Netlist::FanoutRef> pick_free_sink(GateId f) {
-    std::vector<netlist::Netlist::FanoutRef> candidates;
-    for (const auto& r : design_.netlist.fanouts()[f]) {
-      if (r.sink < original_gate_count_ && !locked_port_.contains({r.sink, r.port}) &&
-          design_.netlist.gate(r.sink).fanins[r.port] == f) {
-        candidates.push_back(r);
-      }
-    }
-    if (candidates.empty()) return std::nullopt;
-    std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
-    return candidates[pick(rng_)];
-  }
-
-  // True iff wiring `driver` into gate `sink` would create a combinational
-  // loop in the current (partially locked) netlist.
-  bool would_loop(GateId driver, GateId sink) const {
-    return driver == sink || netlist::in_transitive_fanout(design_.netlist, sink, driver);
-  }
-
-  // --- primitives ----------------------------------------------------------
-
-  int new_key_bit() {
-    const int bit = static_cast<int>(design_.key.size());
-    std::uniform_int_distribution<int> coin(0, 1);
-    design_.key.push_back(static_cast<std::uint8_t>(coin(rng_)));
-    const std::string name = kKeyInputPrefix + std::to_string(bit);
-    design_.key_input_names.push_back(name);
-    key_input_gate_.push_back(design_.netlist.add_input(name));
-    return bit;
-  }
-
-  // Inserts MUX(key, ...) in front of sink.port. With key value v, the true
-  // driver sits on the input selected by v (input a when v=0, b when v=1).
-  std::size_t insert_mux(int key_bit, GateId true_driver, GateId false_driver, GateId sink,
-                         std::uint32_t port) {
-    const bool v = design_.key[key_bit] != 0;
-    const GateId kin = key_input_gate_[key_bit];
-    const GateId a = v ? false_driver : true_driver;
-    const GateId b = v ? true_driver : false_driver;
-    const GateId mux = design_.netlist.add_gate(
-        "keymux" + std::to_string(design_.key_gates.size()), GateType::kMux, {kin, a, b});
-    design_.netlist.replace_fanin(sink, port, mux);
-    locked_port_.insert({sink, port});
-    // The true driver loses one free sink; the decoy loses none.
-    if (free_sinks_[true_driver] > 0) --free_sinks_[true_driver];
-    design_.key_gates.push_back(KeyGate{mux, key_bit, true_driver, false_driver, sink, port});
-    return design_.key_gates.size() - 1;
-  }
-
-  void mark_locked(GateId g) { locked_role_[g] = true; }
-
-  // --- random selection ----------------------------------------------------
-
-  // Uniform random pair of distinct logic gates satisfying `pred` on each.
-  template <typename Pred>
-  std::optional<std::pair<GateId, GateId>> pick_pair(Pred pred) {
-    std::vector<GateId> pool;
-    for (GateId g = 0; g < original_gate_count_; ++g) {
-      if (pred(g)) pool.push_back(g);
-    }
-    if (pool.size() < 2) return std::nullopt;
-    std::shuffle(pool.begin(), pool.end(), rng_);
-    return std::make_pair(pool[0], pool[1]);
-  }
-
-  LockedDesign& design() { return design_; }
-  std::mt19937_64& rng() { return rng_; }
-  const MuxLockOptions& options() const { return opts_; }
-  GateId original_gate_count() const { return original_gate_count_; }
-
- private:
-  MuxLockOptions opts_;
-  std::mt19937_64 rng_;
-  LockedDesign design_;
-  GateId original_gate_count_ = 0;
-  std::vector<std::size_t> free_sinks_;       // unlocked original sink ports
-  std::vector<bool> locked_role_;             // gate already used as f/g in a locality
-  std::set<std::pair<GateId, std::uint32_t>> locked_port_;
-  std::vector<GateId> key_input_gate_;
-};
-
-// One D-MUX locality. Returns the number of key bits consumed, or 0 when no
-// viable locality was found in `attempts` random draws.
-std::size_t lock_one_dmux_locality(MuxLocker& lk, std::size_t bits_remaining, bool enhanced,
-                                   int attempts = 256) {
-  auto& nl = lk.design().netlist;
-  std::uniform_int_distribution<int> coin(0, 1);
-
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    const auto pair =
-        lk.pick_pair([&](GateId g) { return lk.usable_as_locked_node(g); });
-    if (!pair) return 0;
-    auto [fi, fj] = *pair;
-
-    const bool fi_mo = lk.free_sink_count(fi) >= 2;
-    const bool fj_mo = lk.free_sink_count(fj) >= 2;
-
-    Strategy strategy;
-    if (!enhanced) {
-      strategy = Strategy::kS4;
-    } else if (fi_mo && fj_mo) {
-      strategy = (bits_remaining >= 2 && coin(lk.rng()) == 0) ? Strategy::kS1 : Strategy::kS2;
-    } else if (fi_mo != fj_mo) {
-      strategy = Strategy::kS3;
-      if (!fj_mo) std::swap(fi, fj);  // canonical: fj is the MO locked node
-    } else {
-      strategy = Strategy::kS4;
-    }
-
-    switch (strategy) {
-      case Strategy::kS1: {
-        // Two MUXes, two key bits; both nodes are MO so a wrong key always
-        // leaves them driving their remaining free sinks.
-        const auto gi = lk.pick_free_sink(fi);
-        const auto gj = lk.pick_free_sink(fj);
-        if (!gi || !gj || gi->sink == gj->sink) break;
-        if (lk.would_loop(fj, gi->sink) || lk.would_loop(fi, gj->sink)) break;
-        const int ki = lk.new_key_bit();
-        const int kj = lk.new_key_bit();
-        const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
-        const auto m2 = lk.insert_mux(kj, fj, fi, gj->sink, gj->port);
-        lk.mark_locked(fi);
-        lk.mark_locked(fj);
-        lk.design().localities.push_back({Strategy::kS1, {m1, m2}});
-        return 2;
-      }
-      case Strategy::kS2: {
-        // One MUX, one key bit, decoy fj (tap only).
-        const auto gi = lk.pick_free_sink(fi);
-        if (!gi) break;
-        if (lk.would_loop(fj, gi->sink)) break;
-        const int ki = lk.new_key_bit();
-        const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
-        lk.mark_locked(fi);
-        lk.design().localities.push_back({Strategy::kS2, {m1}});
-        return 1;
-      }
-      case Strategy::kS3: {
-        // fj is MO and gets its sink locked; fi (SO) is the decoy tap.
-        const auto gj = lk.pick_free_sink(fj);
-        if (!gj) break;
-        if (lk.would_loop(fi, gj->sink)) break;
-        const int ki = lk.new_key_bit();
-        const auto m1 = lk.insert_mux(ki, fj, fi, gj->sink, gj->port);
-        lk.mark_locked(fj);
-        lk.design().localities.push_back({Strategy::kS3, {m1}});
-        return 1;
-      }
-      case Strategy::kS4: {
-        // Two MUXes share one key bit with opposite input orders: a wrong
-        // key swaps the two wires, never disconnecting either node.
-        const auto gi = lk.pick_free_sink(fi);
-        const auto gj = lk.pick_free_sink(fj);
-        if (!gi || !gj || gi->sink == gj->sink) break;
-        if (lk.would_loop(fj, gi->sink) || lk.would_loop(fi, gj->sink)) break;
-        const int ki = lk.new_key_bit();
-        const auto m1 = lk.insert_mux(ki, fi, fj, gi->sink, gi->port);
-        const auto m2 = lk.insert_mux(ki, fj, fi, gj->sink, gj->port);
-        lk.mark_locked(fi);
-        lk.mark_locked(fj);
-        lk.design().localities.push_back({Strategy::kS4, {m1, m2}});
-        return 1;
-      }
-      default:
-        break;
-    }
-  }
-  (void)nl;
-  return 0;
-}
 
 std::size_t lock_one_symmetric_locality(MuxLocker& lk, int attempts = 256) {
   for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -278,14 +71,6 @@ std::size_t lock_one_symmetric_locality(MuxLocker& lk, int attempts = 256) {
   return 0;
 }
 
-void check_result(const LockedDesign& d, const MuxLockOptions& opts) {
-  if (d.key.size() < opts.key_bits && !opts.allow_partial) {
-    throw std::invalid_argument("locking: only " + std::to_string(d.key.size()) + " of " +
-                                std::to_string(opts.key_bits) + " key bits fit in '" +
-                                d.netlist.name() + "' (set allow_partial to accept)");
-  }
-}
-
 }  // namespace
 
 LockedDesign lock_dmux(const Netlist& original, const MuxLockOptions& opts) {
@@ -293,10 +78,10 @@ LockedDesign lock_dmux(const Netlist& original, const MuxLockOptions& opts) {
   MuxLocker lk(original, opts, "dmux");
   while (lk.design().key.size() < opts.key_bits) {
     const std::size_t remaining = opts.key_bits - lk.design().key.size();
-    if (lock_one_dmux_locality(lk, remaining, opts.enhanced) == 0) break;
+    if (detail::lock_one_dmux_locality(lk, remaining, opts.enhanced) == 0) break;
   }
   LockedDesign d = std::move(lk).take();
-  check_result(d, opts);
+  detail::check_result(d, opts);
   d.netlist.validate();
   MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
@@ -312,7 +97,7 @@ LockedDesign lock_symmetric(const Netlist& original, const MuxLockOptions& opts)
     if (lock_one_symmetric_locality(lk) == 0) break;
   }
   LockedDesign d = std::move(lk).take();
-  check_result(d, opts);
+  detail::check_result(d, opts);
   d.netlist.validate();
   MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
@@ -341,7 +126,7 @@ LockedDesign lock_naive_mux(const Netlist& original, const MuxLockOptions& opts)
     if (!inserted) break;
   }
   LockedDesign d = std::move(lk).take();
-  check_result(d, opts);
+  detail::check_result(d, opts);
   d.netlist.validate();
   MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;
@@ -376,7 +161,7 @@ LockedDesign lock_xor(const Netlist& original, const MuxLockOptions& opts) {
     if (!inserted) break;
   }
   LockedDesign d = std::move(lk).take();
-  check_result(d, opts);
+  detail::check_result(d, opts);
   d.netlist.validate();
   MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
   return d;

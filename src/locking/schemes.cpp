@@ -1,0 +1,38 @@
+#include "locking/schemes.h"
+
+#include <stdexcept>
+
+#include "locking/deceptive.h"
+#include "locking/simll.h"
+#include "locking/trll.h"
+
+namespace muxlink::locking {
+
+const std::vector<std::string>& scheme_names() {
+  static const std::vector<std::string> names = {"dmux",  "symmetric", "simll", "deceptive",
+                                                 "naive", "xor",       "trll"};
+  return names;
+}
+
+std::string scheme_names_joined() {
+  std::string joined;
+  for (const std::string& n : scheme_names()) {
+    if (!joined.empty()) joined += ", ";
+    joined += n;
+  }
+  return joined;
+}
+
+LockFn resolve_scheme(const std::string& name) {
+  if (name == "dmux") return lock_dmux;
+  if (name == "symmetric") return lock_symmetric;
+  if (name == "simll") return lock_simll;
+  if (name == "deceptive") return lock_deceptive;
+  if (name == "naive") return lock_naive_mux;
+  if (name == "xor") return lock_xor;
+  if (name == "trll") return lock_trll;
+  throw std::invalid_argument("unknown scheme '" + name + "' (valid: " + scheme_names_joined() +
+                              ")");
+}
+
+}  // namespace muxlink::locking

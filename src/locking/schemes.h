@@ -1,0 +1,28 @@
+// Single scheme-name registry: every consumer that turns a "--scheme"
+// string into a locking function (lock/attack/campaign subcommands, the zoo
+// key, the eval harness) goes through resolve_scheme() so the set of valid
+// names — and the exit-1 message listing them — can never drift apart.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "locking/mux_lock.h"
+
+namespace muxlink::locking {
+
+using LockFn = std::function<LockedDesign(const netlist::Netlist&, const MuxLockOptions&)>;
+
+// Valid scheme names, in canonical (documentation) order.
+const std::vector<std::string>& scheme_names();
+
+// Comma-separated scheme_names() for usage/error text.
+std::string scheme_names_joined();
+
+// Maps a scheme name to its locking function. Throws std::invalid_argument
+// (the CLI's exit-1 usage-error class) listing the valid names when the
+// name is unknown.
+LockFn resolve_scheme(const std::string& name);
+
+}  // namespace muxlink::locking

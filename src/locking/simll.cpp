@@ -1,0 +1,91 @@
+#include "locking/simll.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "locking/mux_insert.h"
+
+namespace muxlink::locking {
+
+namespace {
+
+using detail::MuxLocker;
+using netlist::GateId;
+
+// Structural signature at three coarseness levels. Level 0 is the full
+// (type, sorted fanin types, fanout bucket) triple; level 1 drops the fanin
+// types; level 2 keeps only the gate type. Coarser levels are fallbacks so
+// small circuits can still fill their key budget when the fine buckets run
+// out of pairs.
+std::string signature(MuxLocker& lk, GateId g, int level) {
+  const auto& nl = lk.design().netlist;
+  const auto& gate = nl.gate(g);
+  std::string sig = std::to_string(static_cast<int>(gate.type));
+  if (level <= 1) {
+    sig += 'x';
+    sig += std::to_string(std::min<std::size_t>(lk.free_sink_count(g), 3));
+  }
+  if (level == 0) {
+    std::vector<int> fanin_types;
+    fanin_types.reserve(gate.fanins.size());
+    for (const GateId f : gate.fanins) {
+      fanin_types.push_back(static_cast<int>(nl.gate(f).type));
+    }
+    std::sort(fanin_types.begin(), fanin_types.end());
+    sig += '(';
+    for (const int t : fanin_types) {
+      sig += std::to_string(t);
+      sig += ',';
+    }
+    sig += ')';
+  }
+  return sig;
+}
+
+// Inserts one S4 pair drawn from a same-signature bucket. Returns false when
+// no level yields a viable pair.
+bool lock_one_simll_pair(MuxLocker& lk, int attempts = 64) {
+  for (int level = 0; level <= 2; ++level) {
+    // std::map keeps bucket iteration deterministic (seed-reproducibility
+    // depends on the rng draw order, not directory/hash order).
+    std::map<std::string, std::vector<GateId>> buckets;
+    for (GateId g = 0; g < lk.original_gate_count(); ++g) {
+      if (lk.usable_as_locked_node(g)) buckets[signature(lk, g, level)].push_back(g);
+    }
+    std::vector<const std::vector<GateId>*> pairable;
+    for (const auto& [sig, members] : buckets) {
+      if (members.size() >= 2) pairable.push_back(&members);
+    }
+    if (pairable.empty()) continue;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      std::uniform_int_distribution<std::size_t> pick_bucket(0, pairable.size() - 1);
+      const auto& members = *pairable[pick_bucket(lk.rng())];
+      std::uniform_int_distribution<std::size_t> pick(0, members.size() - 1);
+      const GateId fi = members[pick(lk.rng())];
+      const GateId fj = members[pick(lk.rng())];
+      if (fi == fj) continue;
+      if (detail::insert_s4_pair(lk, fi, fj, Strategy::kSimilar)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LockedDesign lock_simll(const netlist::Netlist& original, const MuxLockOptions& opts) {
+  MUXLINK_TRACE("lock.simll");
+  MuxLocker lk(original, opts, "simll");
+  while (lk.design().key.size() < opts.key_bits) {
+    if (!lock_one_simll_pair(lk)) break;
+  }
+  LockedDesign d = std::move(lk).take();
+  detail::check_result(d, opts);
+  d.netlist.validate();
+  MUXLINK_COUNTER_ADD("lock.key_bits", static_cast<std::int64_t>(d.key.size()));
+  return d;
+}
+
+}  // namespace muxlink::locking

@@ -1,0 +1,19 @@
+// SimLL: similarity-based logic locking (scenario-matrix defense).
+//
+// Instead of pairing uniformly random nodes like D-MUX, SimLL pairs nets
+// that are *structurally confusable*: same gate type, same sorted fanin
+// types, similar fanout load. A link-prediction attacker scores candidate
+// wires by their enclosing-subgraph structure, so pairing look-alike nets
+// narrows the structural gap between the true wire and the decoy. Each pair
+// is inserted with the S4 twin-MUX shape, which keeps the D-MUX
+// no-circuit-reduction guarantee (a wrong key swaps the two wires, never
+// disconnects a node).
+#pragma once
+
+#include "locking/mux_lock.h"
+
+namespace muxlink::locking {
+
+LockedDesign lock_simll(const netlist::Netlist& original, const MuxLockOptions& opts);
+
+}  // namespace muxlink::locking

@@ -21,6 +21,7 @@
 #include "gnn/trainer.h"
 #include "graph/circuit_graph.h"
 #include "locking/resolve.h"
+#include "muxlink/engine.h"
 #include "netlist/netlist.h"
 
 namespace muxlink::core {
@@ -106,18 +107,6 @@ struct MuxLikelihood {
   attacks::TracedMux mux;
   double score_a = 0.0;  // likelihood of (input_a -> sink); key bit 0
   double score_b = 0.0;  // likelihood of (input_b -> sink); key bit 1
-};
-
-// What the serving layer did for one run (surfaced in the run manifest's
-// `serving` block and the serving.* metrics).
-struct ServingStats {
-  bool zoo_enabled = false;
-  bool zoo_hit = false;          // every ensemble member served from the registry
-  bool warm_start = false;
-  std::string zoo_key;           // member-0 registry key ("" when disabled)
-  std::uint64_t cache_hits = 0;  // per-link score cache
-  std::uint64_t cache_misses = 0;
-  std::size_t bytes_mapped = 0;  // blob bytes mmap'd across the ensemble
 };
 
 struct MuxLinkResult {

@@ -1,0 +1,68 @@
+// Link-scoring engine: the attack-agnostic core of the MuxLink pipeline
+// (stages 2-5 of attack.h). Given a locked netlist, the key gates to excise
+// and a list of candidate (driver -> sink) wires, it builds the gate graph,
+// samples training links, trains (or zoo-serves) the DGCNN ensemble and
+// returns one likelihood per candidate wire.
+//
+// Both attack front-ends ride on it: MuxLink asks for the two candidate
+// wires of every key MUX and post-processes with Algorithm 1; the
+// UNTANGLE-style mode asks for the leaf wires of every key-MUX tree and
+// commits per-query argmaxes (untangle.h). Because the sampled training set
+// depends on the target list (targets are excluded from sampling), the
+// registry key folds a hash of the target set into the config hash — a zoo
+// entry can never serve a run that scores different wires, and two attacks
+// with the SAME target set (e.g. MuxLink and UNTANGLE on 1-level MUX
+// schemes) legitimately share one trained entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gnn/trainer.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::core {
+
+struct MuxLinkOptions;  // attack.h (shared knobs for both front-ends)
+
+// What the serving layer did for one run (surfaced in the run manifest's
+// `serving` block and the serving.* metrics).
+struct ServingStats {
+  bool zoo_enabled = false;
+  bool zoo_hit = false;          // every ensemble member served from the registry
+  bool warm_start = false;
+  std::string zoo_key;           // member-0 registry key ("" when disabled)
+  std::uint64_t cache_hits = 0;  // per-link score cache
+  std::uint64_t cache_misses = 0;
+  std::size_t bytes_mapped = 0;  // blob bytes mmap'd across the ensemble
+};
+
+// One candidate wire to score: likelihood that `driver` is routed to `sink`
+// in the original design. Both gates must survive key-MUX excision.
+using TargetWire = std::pair<netlist::GateId, netlist::GateId>;
+
+struct EngineResult {
+  std::vector<double> scores;  // parallel to the requested target list
+  gnn::TrainReport training;
+  int sortpool_k = 0;
+  int feature_dim = 0;
+  std::size_t training_links = 0;
+  double sample_seconds = 0.0;
+  double train_seconds = 0.0;
+  double score_seconds = 0.0;
+  ServingStats serving;
+};
+
+// Runs stages 2-5. `excluded` lists the traced key-MUX gates (removed from
+// the gate graph); `targets` lists the wires to score, in an order the
+// caller fixes (the score cache replays probes/inserts in exactly this
+// order, so the persisted cache file is deterministic). Throws NetlistError
+// when a target endpoint is missing from the graph or no training links are
+// available.
+EngineResult score_links(const netlist::Netlist& locked,
+                         const std::vector<netlist::GateId>& excluded,
+                         const std::vector<TargetWire>& targets, const MuxLinkOptions& opts);
+
+}  // namespace muxlink::core

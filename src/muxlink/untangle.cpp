@@ -1,0 +1,101 @@
+#include "muxlink/untangle.h"
+
+#include <chrono>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace muxlink::core {
+
+using attacks::RoutingQuery;
+using locking::KeyBit;
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+UntangleResult UntangleAttack::run(const Netlist& locked) {
+  MUXLINK_TRACE("untangle");
+  MUXLINK_COUNTER_ADD("untangle.runs", 1);
+  const auto t_total = std::chrono::steady_clock::now();
+  UntangleResult result;
+
+  // (1) Trace key gates, group them into routing queries.
+  const auto keys = attacks::find_key_inputs(locked);
+  const auto muxes = [&] {
+    MUXLINK_TRACE("attack.key_trace");
+    return attacks::trace_key_muxes(locked);
+  }();
+  if (muxes.empty()) throw netlist::NetlistError("MuxLink: no key-controlled MUXes found");
+  result.queries = attacks::trace_routing_queries(locked, muxes);
+  MUXLINK_COUNTER_ADD("untangle.queries", static_cast<std::int64_t>(result.queries.size()));
+
+  // Targets: every candidate leaf wire of every query, in query order (the
+  // engine caches scores in this order).
+  std::vector<GateId> excluded;
+  excluded.reserve(muxes.size());
+  for (const auto& m : muxes) excluded.push_back(m.mux);
+  std::vector<TargetWire> targets;
+  for (const RoutingQuery& q : result.queries) {
+    for (const auto& c : q.candidates) targets.emplace_back(c.driver, q.sink);
+  }
+  result.target_links = targets.size();
+
+  // (2)-(5) Shared scoring engine.
+  EngineResult engine = score_links(locked, excluded, targets, opts_);
+  result.training = engine.training;
+  result.sortpool_k = engine.sortpool_k;
+  result.feature_dim = engine.feature_dim;
+  result.training_links = engine.training_links;
+  result.sample_seconds = engine.sample_seconds;
+  result.train_seconds = engine.train_seconds;
+  result.score_seconds = engine.score_seconds;
+  result.serving = engine.serving;
+  result.threads = static_cast<int>(common::num_threads());
+
+  // (6) Per-query argmax commit; per-bit conflicts go to the strongest
+  // winning query (ties break toward the earlier query, so the result is
+  // independent of thread count).
+  {
+    MUXLINK_TRACE("untangle.commit");
+    result.key.assign(keys.size(), KeyBit::kUnknown);
+    std::vector<double> best_score(keys.size(), -1.0);
+    std::size_t cursor = 0;
+    result.scores.reserve(result.queries.size());
+    result.committed.reserve(result.queries.size());
+    for (const RoutingQuery& q : result.queries) {
+      std::vector<double> qs(engine.scores.begin() + static_cast<std::ptrdiff_t>(cursor),
+                             engine.scores.begin() +
+                                 static_cast<std::ptrdiff_t>(cursor + q.candidates.size()));
+      cursor += q.candidates.size();
+      std::size_t winner = 0;
+      for (std::size_t c = 1; c < qs.size(); ++c) {
+        if (qs[c] > qs[winner]) winner = c;
+      }
+      result.scores.push_back(qs);
+      result.committed.push_back(winner);
+      if (q.candidates.empty()) continue;
+      const double w = qs[winner];
+      for (const auto& [bit, value] : q.candidates[winner].assignments) {
+        if (w > best_score[bit]) {
+          best_score[bit] = w;
+          result.key[bit] = value == 0 ? KeyBit::kZero : KeyBit::kOne;
+        }
+      }
+    }
+  }
+  result.total_seconds = seconds_since(t_total);
+  for (const KeyBit b : result.key) {
+    if (b == KeyBit::kUnknown) MUXLINK_COUNTER_ADD("attack.key_bits_undecided", 1);
+    else MUXLINK_COUNTER_ADD("attack.key_bits_decided", 1);
+  }
+  return result;
+}
+
+}  // namespace muxlink::core

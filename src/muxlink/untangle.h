@@ -1,0 +1,58 @@
+// UNTANGLE-style attack mode: routing-obfuscation candidates as
+// link-prediction queries (after UNTANGLE, Alrahis et al. — unlocking
+// routing obfuscation with GNN link prediction).
+//
+// Where MuxLink scores the two candidate wires of each key MUX and may
+// abstain (δ-rule), the UNTANGLE view treats every key-MUX tree as one
+// routing query — "which leaf wire reaches this sink?" — and always commits
+// the argmax leaf. Committing a leaf implies every (key bit, value)
+// assignment on its root-to-leaf path; bits claimed by several queries are
+// resolved in favor of the query with the strongest winning score. Both
+// modes share the scoring engine (engine.h), so on the 1-level MUX schemes
+// they train/serve the same zoo entry and differ only in post-processing.
+#pragma once
+
+#include <vector>
+
+#include "attacks/key_trace.h"
+#include "locking/resolve.h"
+#include "muxlink/attack.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::core {
+
+struct UntangleResult {
+  std::vector<locking::KeyBit> key;             // indexed by key bit
+  std::vector<attacks::RoutingQuery> queries;   // one per key-MUX tree
+  std::vector<std::vector<double>> scores;      // [query][candidate] likelihood
+  std::vector<std::size_t> committed;           // [query] argmax candidate index
+  gnn::TrainReport training;
+  int sortpool_k = 0;
+  int feature_dim = 0;
+  std::size_t training_links = 0;
+  std::size_t target_links = 0;
+  double sample_seconds = 0.0;
+  double train_seconds = 0.0;
+  double score_seconds = 0.0;
+  double total_seconds = 0.0;
+  int threads = 1;
+  ServingStats serving;
+};
+
+class UntangleAttack {
+ public:
+  explicit UntangleAttack(const MuxLinkOptions& opts = {}) : opts_(opts) {}
+
+  // Runs trace -> engine -> per-query argmax commit. Throws NetlistError
+  // when the netlist has no key-controlled MUXes. The δ threshold is
+  // ignored: routing queries never abstain (a bit is X only when no
+  // winning path assigns it).
+  UntangleResult run(const netlist::Netlist& locked);
+
+  const MuxLinkOptions& options() const noexcept { return opts_; }
+
+ private:
+  MuxLinkOptions opts_;
+};
+
+}  // namespace muxlink::core

@@ -59,8 +59,17 @@ std::optional<fs::path> Registry::find(const std::string& key) const {
   std::error_code ec;
   if (!fs::is_regular_file(path, ec)) return std::nullopt;
   // LRU bump. Best-effort: a hit on an entry someone just evicted still
-  // reports the miss via the caller's subsequent open.
-  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  // reports the miss via the caller's subsequent open. On filesystems with
+  // coarse mtime granularity (or when the entry's mtime sits in the future)
+  // a plain clock::now() bump can fail to advance the timestamp, collapsing
+  // the recency order of same-tick hits — never move the mtime backwards or
+  // leave it equal; step one tick past the stored time instead.
+  auto bumped = fs::file_time_type::clock::now();
+  std::error_code mec;
+  if (const auto cur = fs::last_write_time(path, mec); !mec && cur >= bumped) {
+    bumped = cur + fs::file_time_type::duration(1);
+  }
+  fs::last_write_time(path, bumped, ec);
   return path;
 }
 
@@ -94,6 +103,9 @@ std::vector<Registry::Entry> Registry::list() const {
     if (!sec) e.bytes += score_bytes;
     entries.push_back(std::move(e));
   }
+  // Entries sharing an mtime (same-second inserts on coarse-granularity
+  // filesystems) fall back to key order, so find()/gc() see one well-defined
+  // LRU order regardless of directory-iteration order.
   std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
     return a.last_used != b.last_used ? a.last_used < b.last_used : a.key < b.key;
   });

@@ -180,6 +180,91 @@ y = AND(a, keyinput5)
   EXPECT_THROW(find_key_inputs(bad), netlist::NetlistError);
 }
 
+// --- UNTANGLE-style routing queries ---------------------------------------------
+
+TEST(RoutingTrace, OneLevelSchemesDegenerateToTwoCandidatesPerMux) {
+  const Netlist nl = test_circuit(17);
+  MuxLockOptions opts;
+  opts.key_bits = 12;
+  const LockedDesign d = locking::lock_dmux(nl, opts);
+  const auto muxes = trace_key_muxes(d.netlist);
+  const auto queries = trace_routing_queries(d.netlist, muxes);
+  // D-MUX never chains key MUXes through data inputs: every MUX is its own
+  // tree root with exactly its two data inputs as candidates.
+  ASSERT_EQ(queries.size(), muxes.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const RoutingQuery& q = queries[i];
+    EXPECT_EQ(q.root_mux, muxes[i].mux);
+    EXPECT_EQ(q.sink, muxes[i].sink);
+    ASSERT_EQ(q.candidates.size(), 2u);
+    EXPECT_EQ(q.candidates[0].driver, muxes[i].input_a);
+    EXPECT_EQ(q.candidates[1].driver, muxes[i].input_b);
+    const std::vector<std::pair<int, int>> want_a{{muxes[i].key_bit, 0}};
+    const std::vector<std::pair<int, int>> want_b{{muxes[i].key_bit, 1}};
+    EXPECT_EQ(q.candidates[0].assignments, want_a);
+    EXPECT_EQ(q.candidates[1].assignments, want_b);
+  }
+}
+
+TEST(RoutingTrace, TwoLevelTreeAccumulatesPathAssignments) {
+  const Netlist nl = netlist::parse_bench(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(keyinput0)
+INPUT(keyinput1)
+OUTPUT(y)
+m0 = MUX(keyinput0, a, b)
+m1 = MUX(keyinput1, m0, c)
+y = BUF(m1)
+)");
+  const auto muxes = trace_key_muxes(nl);
+  ASSERT_EQ(muxes.size(), 2u);
+  const auto queries = trace_routing_queries(nl, muxes);
+  // m0 feeds m1's 0-arm, so the whole chain is ONE query rooted at m1.
+  ASSERT_EQ(queries.size(), 1u);
+  const RoutingQuery& q = queries[0];
+  EXPECT_EQ(q.root_mux, nl.find("m1"));
+  EXPECT_EQ(q.sink, nl.find("y"));
+  ASSERT_EQ(q.candidates.size(), 3u);
+  // DFS order: 0-arm first, so a (k1=0,k0=0), b (k1=0,k0=1), then c (k1=1).
+  EXPECT_EQ(q.candidates[0].driver, nl.find("a"));
+  EXPECT_EQ(q.candidates[1].driver, nl.find("b"));
+  EXPECT_EQ(q.candidates[2].driver, nl.find("c"));
+  const std::vector<std::pair<int, int>> want_a{{1, 0}, {0, 0}};
+  const std::vector<std::pair<int, int>> want_b{{1, 0}, {0, 1}};
+  const std::vector<std::pair<int, int>> want_c{{1, 1}};
+  EXPECT_EQ(q.candidates[0].assignments, want_a);
+  EXPECT_EQ(q.candidates[1].assignments, want_b);
+  EXPECT_EQ(q.candidates[2].assignments, want_c);
+}
+
+TEST(RoutingTrace, ConflictingPathAssignmentsAreDropped) {
+  // Both MUXes share keyinput0: reaching b needs k0 = 0 (at m1) AND k0 = 1
+  // (at m0) simultaneously — infeasible under any single key, so b must not
+  // appear as a candidate.
+  const Netlist nl = netlist::parse_bench(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(keyinput0)
+OUTPUT(y)
+m0 = MUX(keyinput0, a, b)
+m1 = MUX(keyinput0, m0, c)
+y = BUF(m1)
+)");
+  const auto queries = trace_routing_queries(nl, trace_key_muxes(nl));
+  ASSERT_EQ(queries.size(), 1u);
+  const RoutingQuery& q = queries[0];
+  ASSERT_EQ(q.candidates.size(), 2u);
+  EXPECT_EQ(q.candidates[0].driver, nl.find("a"));
+  EXPECT_EQ(q.candidates[1].driver, nl.find("c"));
+  const std::vector<std::pair<int, int>> want_a{{0, 0}};
+  const std::vector<std::pair<int, int>> want_c{{0, 1}};
+  EXPECT_EQ(q.candidates[0].assignments, want_a);
+  EXPECT_EQ(q.candidates[1].assignments, want_c);
+}
+
 // --- SAAM ---------------------------------------------------------------------------
 
 TEST(Saam, BreaksNaiveMuxLockingWithHighKpa) {

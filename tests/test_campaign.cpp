@@ -1,0 +1,140 @@
+// Campaign sweep contracts (DESIGN.md, eval/campaign.h): the aggregate
+// manifest must be byte-identical across worker counts and across
+// fault-interrupted-then-resumed runs, unknown names must fail before any
+// cell runs, and the KPA column must stay finite even when an attack
+// abstains on every bit.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "attacks/metrics.h"
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "eval/campaign.h"
+#include "locking/resolve.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using muxlink::attacks::KeyPredictionScore;
+using muxlink::eval::CampaignOptions;
+using muxlink::eval::run_campaign;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p);
+  EXPECT_TRUE(is) << "cannot read " << p;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Small but real sweep: 2 schemes x 1 circuit x 2 attacks, tiny training
+// budget so the whole suite stays inside the heavy-test wall clock.
+CampaignOptions tiny_options(const fs::path& out_dir) {
+  CampaignOptions opts;
+  opts.schemes = {"dmux", "simll"};
+  opts.circuits = {"c432"};
+  opts.attacks = {"muxlink", "untangle"};
+  opts.key_bits = 8;
+  opts.circuit_scale = 0.5;
+  opts.epochs = 2;
+  opts.hd_patterns = 64;
+  opts.out_dir = out_dir.string();
+  return opts;
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    muxlink::common::fault::disarm_all();
+    muxlink::common::set_num_threads(1);
+    dir_ = fs::temp_directory_path() / "muxlink_campaign_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    muxlink::common::fault::disarm_all();
+    muxlink::common::set_num_threads(0);
+    fs::remove_all(dir_);
+  }
+  fs::path dir_;
+};
+
+TEST_F(CampaignTest, AggregateByteIdenticalAcrossWorkerCounts) {
+  std::string baseline;
+  for (const int workers : {1, 2, 8}) {
+    muxlink::common::set_num_threads(static_cast<std::size_t>(workers));
+    const fs::path out = dir_ / ("w" + std::to_string(workers));
+    const auto result = run_campaign(tiny_options(out));
+    EXPECT_EQ(result.cells.size(), 4u);
+    EXPECT_EQ(result.resumed_cells, 0u);
+    const std::string agg = slurp(result.aggregate_path);
+    if (baseline.empty()) {
+      baseline = agg;
+    } else {
+      EXPECT_EQ(agg, baseline) << "aggregate diverged at --workers " << workers;
+    }
+  }
+  // Sanity on the shared baseline: metrics present and finite.
+  EXPECT_NE(baseline.find("mean_kpa_percent"), std::string::npos);
+  EXPECT_EQ(baseline.find("nan"), std::string::npos);
+  EXPECT_EQ(baseline.find("inf"), std::string::npos);
+}
+
+TEST_F(CampaignTest, ResumeAfterInjectedFaultMatchesUninterruptedRun) {
+  const fs::path clean_dir = dir_ / "clean";
+  const std::string clean = slurp(run_campaign(tiny_options(clean_dir)).aggregate_path);
+
+  // Interrupt the sweep after the 2nd cell manifest lands on disk.
+  const fs::path faulty_dir = dir_ / "faulty";
+  muxlink::common::fault::arm("campaign.cell", 2, muxlink::common::fault::Action::kThrow);
+  EXPECT_THROW(run_campaign(tiny_options(faulty_dir)), muxlink::common::fault::FaultInjected);
+  muxlink::common::fault::disarm_all();
+
+  // The crash left a clean prefix: exactly the completed cell manifests, no
+  // aggregate, no torn files.
+  std::size_t cell_manifests = 0;
+  for (const auto& e : fs::directory_iterator(faulty_dir)) {
+    EXPECT_NE(e.path().filename(), "campaign.json") << "aggregate written despite fault";
+    ++cell_manifests;
+  }
+  EXPECT_EQ(cell_manifests, 2u);
+
+  // Resume reruns only the missing cells and reproduces the aggregate
+  // byte-for-byte (persisted doubles round-trip exactly).
+  auto resume_opts = tiny_options(faulty_dir);
+  resume_opts.resume = true;
+  const auto resumed = run_campaign(resume_opts);
+  EXPECT_EQ(resumed.resumed_cells, 2u);
+  EXPECT_EQ(slurp(resumed.aggregate_path), clean);
+}
+
+TEST_F(CampaignTest, RejectsUnknownNamesBeforeRunningCells) {
+  auto bad_scheme = tiny_options(dir_ / "bad1");
+  bad_scheme.schemes = {"dmux", "bogus"};
+  EXPECT_THROW(run_campaign(bad_scheme), std::invalid_argument);
+
+  auto bad_attack = tiny_options(dir_ / "bad2");
+  bad_attack.attacks = {"sat"};
+  EXPECT_THROW(run_campaign(bad_attack), std::invalid_argument);
+
+  // Validation fires before any cell work: no output directories populated.
+  EXPECT_FALSE(fs::exists(dir_ / "bad1" / "campaign.json"));
+  EXPECT_FALSE(fs::exists(dir_ / "bad2" / "campaign.json"));
+}
+
+TEST(CampaignMetrics, KpaIsHundredNotNanWhenEveryBitAbstains) {
+  const std::vector<std::uint8_t> truth = {0, 1, 1, 0};
+  const std::vector<muxlink::locking::KeyBit> all_x(4, muxlink::locking::KeyBit::kUnknown);
+  const KeyPredictionScore score = muxlink::attacks::score_key(truth, all_x);
+  EXPECT_EQ(score.undecided, 4u);
+  EXPECT_TRUE(std::isfinite(score.kpa_percent()));
+  EXPECT_DOUBLE_EQ(score.kpa_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(score.accuracy_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(score.precision_percent(), 100.0);
+}
+
+}  // namespace

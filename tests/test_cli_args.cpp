@@ -1,0 +1,77 @@
+// CLI argument-parser contract (tools/cli_args.h): malformed numeric values
+// must surface as std::invalid_argument — the exit-1 usage-error class — with
+// a message naming the flag and the offending value, never as a leaked
+// std::stol/std::stod exception or a silently truncated parse.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tools/cli_args.h"
+
+namespace {
+
+using muxlink::tools::CliArgs;
+
+CliArgs make_args(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesOptionsFlagsAndPositionals) {
+  // A bare flag is one followed by another option (or nothing); a non-"--"
+  // token after an option always binds as its value.
+  const CliArgs args = make_args({"in.bench", "--threads", "4", "--resume"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "in.bench");
+  EXPECT_EQ(args.get_long("threads", 1), 4);
+  EXPECT_TRUE(args.has("resume"));
+  EXPECT_EQ(args.get_or("resume", "?"), "");
+  EXPECT_FALSE(args.has("workers"));
+}
+
+TEST(CliArgs, GetLongRejectsGarbage) {
+  const CliArgs args = make_args({"--threads", "abc"});
+  try {
+    args.get_long("threads", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--threads"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliArgs, GetLongRejectsTrailingJunk) {
+  const CliArgs args = make_args({"--key-bits", "12x"});
+  EXPECT_THROW(args.get_long("key-bits", 8), std::invalid_argument);
+}
+
+TEST(CliArgs, GetLongRejectsOverflow) {
+  // 20 digits overflows long; must become invalid_argument, not out_of_range.
+  const CliArgs args = make_args({"--links", "99999999999999999999"});
+  try {
+    args.get_long("links", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  } catch (const std::out_of_range&) {
+    FAIL() << "leaked std::out_of_range";
+  }
+}
+
+TEST(CliArgs, GetDoubleRejectsGarbageAndOverflow) {
+  EXPECT_THROW(make_args({"--lr", "fast"}).get_double("lr", 1e-3), std::invalid_argument);
+  EXPECT_THROW(make_args({"--lr", "0.1oops"}).get_double("lr", 1e-3), std::invalid_argument);
+  EXPECT_THROW(make_args({"--lr", "9e999"}).get_double("lr", 1e-3), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(make_args({"--lr", "0.25"}).get_double("lr", 1e-3), 0.25);
+  EXPECT_DOUBLE_EQ(make_args({}).get_double("lr", 1e-3), 1e-3);
+}
+
+TEST(CliArgs, AllowOnlyCatchesTypos) {
+  const CliArgs args = make_args({"--scheem", "dmux"});
+  EXPECT_THROW(args.allow_only({"scheme", "key-bits"}), std::invalid_argument);
+  EXPECT_NO_THROW(make_args({"--scheme", "dmux"}).allow_only({"scheme"}));
+}
+
+}  // namespace

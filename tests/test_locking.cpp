@@ -8,8 +8,10 @@
 #include <set>
 
 #include "circuitgen/suites.h"
+#include "locking/deceptive.h"
 #include "locking/mux_lock.h"
 #include "locking/resolve.h"
+#include "locking/simll.h"
 #include "netlist/analysis.h"
 #include "sim/simulator.h"
 
@@ -59,7 +61,7 @@ bool no_reduction_under(const Netlist& original, const LockedDesign& d,
 
 // --- shared behaviour across MUX schemes (parameterized) -----------------------
 
-enum class Scheme { kDmux, kDmuxPlain, kSymmetric, kNaive, kXor };
+enum class Scheme { kDmux, kDmuxPlain, kSymmetric, kNaive, kXor, kSimll, kDeceptive };
 
 LockedDesign lock_with(Scheme s, const Netlist& nl, MuxLockOptions opts) {
   switch (s) {
@@ -74,6 +76,10 @@ LockedDesign lock_with(Scheme s, const Netlist& nl, MuxLockOptions opts) {
       return lock_naive_mux(nl, opts);
     case Scheme::kXor:
       return lock_xor(nl, opts);
+    case Scheme::kSimll:
+      return lock_simll(nl, opts);
+    case Scheme::kDeceptive:
+      return lock_deceptive(nl, opts);
   }
   throw std::logic_error("unknown scheme");
 }
@@ -140,7 +146,8 @@ TEST_P(AllSchemes, ApplyCorrectKeyRecoversFunction) {
 
 INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
                          ::testing::Values(Scheme::kDmux, Scheme::kDmuxPlain, Scheme::kSymmetric,
-                                           Scheme::kNaive, Scheme::kXor),
+                                           Scheme::kNaive, Scheme::kXor, Scheme::kSimll,
+                                           Scheme::kDeceptive),
                          [](const auto& info) {
                            switch (info.param) {
                              case Scheme::kDmux: return "dmux";
@@ -148,6 +155,8 @@ INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
                              case Scheme::kSymmetric: return "symmetric";
                              case Scheme::kNaive: return "naive";
                              case Scheme::kXor: return "xor";
+                             case Scheme::kSimll: return "simll";
+                             case Scheme::kDeceptive: return "deceptive";
                            }
                            return "?";
                          });
@@ -316,6 +325,104 @@ TEST(Symmetric, DoubleFlipSwapsWithoutReduction) {
     one[ka] = !one[ka];
     EXPECT_FALSE(no_reduction_under(nl, d, one));
   }
+}
+
+// --- SimLL: similarity-based pairing ---------------------------------------------
+
+TEST(Simll, PairsAreS4ShapedSameTypeAndCrossWired) {
+  const Netlist nl = test_circuit(73, 300);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_simll(nl, opts);
+  EXPECT_EQ(d.scheme, "simll");
+  ASSERT_FALSE(d.localities.empty());
+  for (const auto& loc : d.localities) {
+    EXPECT_EQ(loc.strategy, Strategy::kSimilar);
+    ASSERT_EQ(loc.key_gates.size(), 2u);
+    const KeyGate& a = d.key_gates[loc.key_gates[0]];
+    const KeyGate& b = d.key_gates[loc.key_gates[1]];
+    // Twin MUXes share one key bit with swapped input orders (the S4 shape
+    // behind the no-reduction guarantee).
+    EXPECT_EQ(a.key_bit, b.key_bit);
+    EXPECT_EQ(a.true_driver, b.false_driver);
+    EXPECT_EQ(a.false_driver, b.true_driver);
+    // The similarity contract: every fallback level of the structural
+    // signature still requires matching gate types.
+    EXPECT_EQ(d.netlist.gate(a.true_driver).type, d.netlist.gate(b.true_driver).type);
+  }
+}
+
+TEST(Simll, NoReductionUnderAnyKey) {
+  const Netlist nl = test_circuit(79, 300);
+  MuxLockOptions opts;
+  opts.key_bits = 16;
+  const LockedDesign d = lock_simll(nl, opts);
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::vector<bool> key(d.key.size());
+    for (std::size_t i = 0; i < key.size(); ++i) key[i] = (rng() & 1) != 0;
+    EXPECT_TRUE(no_reduction_under(nl, d, key));
+  }
+}
+
+// --- Deceptive locking: dummy key bits -------------------------------------------
+
+TEST(Deceptive, MixesDummyAndRealLocalities) {
+  const Netlist nl = test_circuit(83, 300);
+  MuxLockOptions opts;
+  opts.key_bits = 24;
+  const LockedDesign d = lock_deceptive(nl, opts);
+  EXPECT_EQ(d.scheme, "deceptive");
+  const std::vector<int> dummies = dummy_key_bits(d);
+  EXPECT_FALSE(dummies.empty());
+  EXPECT_LT(dummies.size(), d.key.size()) << "no real localities inserted";
+  // Each dummy MUX carries the same signal on both data inputs: one arm is
+  // the watched wire, the other its BUF copy.
+  for (const auto& loc : d.localities) {
+    if (loc.strategy != Strategy::kDecoy) continue;
+    ASSERT_EQ(loc.key_gates.size(), 1u);
+    const KeyGate& kg = d.key_gates[loc.key_gates[0]];
+    const auto& t = d.netlist.gate(kg.true_driver);
+    const auto& f = d.netlist.gate(kg.false_driver);
+    if (t.type == GateType::kBuf && t.fanins.size() == 1 && t.fanins[0] == kg.false_driver) {
+      SUCCEED();
+    } else if (f.type == GateType::kBuf && f.fanins.size() == 1 &&
+               f.fanins[0] == kg.true_driver) {
+      SUCCEED();
+    } else {
+      ADD_FAILURE() << "decoy MUX arms are not a wire and its BUF copy";
+    }
+  }
+}
+
+TEST(Deceptive, DummyBitsAreFunctionallyIrrelevant) {
+  // Dummy-bit irrelevance is a hard guarantee on every design; real-bit
+  // corruption is statistical (a wrong S-strategy key swaps wires, which on
+  // a small circuit can happen to be functionally interchangeable), so it
+  // only needs to show up across seeds.
+  int corrupting_seeds = 0;
+  for (const std::uint64_t seed : {89u, 97u, 101u}) {
+    const Netlist nl = test_circuit(seed, 300);
+    MuxLockOptions opts;
+    opts.key_bits = 16;
+    opts.seed = seed;
+    const LockedDesign d = lock_deceptive(nl, opts);
+    const std::vector<int> dummies = dummy_key_bits(d);
+    ASSERT_FALSE(dummies.empty());
+    // Flipping every dummy bit away from its recorded coin-flip truth must
+    // keep the circuit functionally identical (HD contribution is zero).
+    sim::HammingOptions hopts = key_pins(d);
+    for (const int bit : dummies) {
+      hopts.extra_inputs_b[static_cast<std::size_t>(bit)].second = d.key[bit] == 0;
+    }
+    EXPECT_TRUE(sim::functionally_equivalent(nl, d.netlist, hopts)) << "seed " << seed;
+    // ... while flipping every bit (real ones included) corrupts outputs.
+    for (std::size_t i = 0; i < d.key.size(); ++i) {
+      hopts.extra_inputs_b[i].second = d.key[i] == 0;
+    }
+    if (!sim::functionally_equivalent(nl, d.netlist, hopts)) ++corrupting_seeds;
+  }
+  EXPECT_GE(corrupting_seeds, 1);
 }
 
 // --- Naive MUX: the SAAM vulnerability -------------------------------------------

@@ -477,6 +477,56 @@ TEST(Registry, GcEvictsStrictlyLruAndNeverPinned) {
   EXPECT_GT(res0.bytes_kept, 0u);
 }
 
+TEST(Registry, ListAndGcOrderDeterministicUnderIdenticalMtimes) {
+  TempDir dir("gc_ties");
+  const zoo::Registry reg(dir.path / "zoo");
+  const std::string kb(1024, 'x');
+  // Insertion order is deliberately not key order.
+  for (const char* k : {"delta", "alpha", "charlie", "bravo"}) reg.insert(k, kb);
+  // Coarse filesystem timestamps (or a fast machine) can stamp every entry
+  // with the same mtime; the LRU order must still be total.
+  const auto stamp = fs::file_time_type::clock::now() - std::chrono::hours(1);
+  for (const char* k : {"delta", "alpha", "charlie", "bravo"}) {
+    fs::last_write_time(reg.entry_path(k), stamp);
+  }
+
+  const auto entries = reg.list();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].key, "alpha");
+  EXPECT_EQ(entries[1].key, "bravo");
+  EXPECT_EQ(entries[2].key, "charlie");
+  EXPECT_EQ(entries[3].key, "delta");
+
+  // Eviction under the tie follows the same total order: two entries' worth
+  // of budget evicts exactly the two lexicographically-smallest keys.
+  const auto res = reg.gc(2 * 1024 + 64);
+  ASSERT_EQ(res.evicted.size(), 2u);
+  EXPECT_EQ(res.evicted[0], "alpha");
+  EXPECT_EQ(res.evicted[1], "bravo");
+  EXPECT_TRUE(reg.contains("charlie"));
+  EXPECT_TRUE(reg.contains("delta"));
+}
+
+TEST(Registry, FindBumpIsStrictlyMonotonicEvenAgainstFutureMtimes) {
+  TempDir dir("bump");
+  const zoo::Registry reg(dir.path / "zoo");
+  reg.insert("a", "payload");
+  reg.insert("b", "payload");
+  // Stamp both entries ahead of the wall clock (clock skew, restored
+  // backups). A plain mtime := now would leave "a" ordered by the key
+  // tie-break instead of as most-recently-used.
+  const auto future = fs::file_time_type::clock::now() + std::chrono::hours(1);
+  fs::last_write_time(reg.entry_path("a"), future);
+  fs::last_write_time(reg.entry_path("b"), future);
+
+  ASSERT_TRUE(reg.find("a").has_value());
+  const auto entries = reg.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, "b") << "find() must leave the other entry older";
+  EXPECT_EQ(entries[1].key, "a") << "found entry must become most-recently-used";
+  EXPECT_GT(entries[1].last_used, entries[0].last_used);
+}
+
 // ---------------------------------------------------------------------------
 // Per-link score cache: LRU semantics, bit-exact persistence, corrupt files.
 

@@ -41,12 +41,26 @@ class CliArgs {
     return get(key).value_or(fallback);
   }
 
+  // Numeric getters report malformed values as std::invalid_argument (the
+  // exit-1 usage-error class of DESIGN.md §8) instead of leaking the raw
+  // std::stol/std::stod exceptions: garbage ("abc"), trailing junk ("12x"),
+  // and out-of-range literals ("9e999", 20-digit integers) all produce a
+  // "--<key>: ..." message naming the offending value.
   long get_long(const std::string& key, long fallback) const {
     const auto v = get(key);
     if (!v) return fallback;
     std::size_t pos = 0;
-    const long parsed = std::stol(*v, &pos);
-    if (pos != v->size()) throw std::invalid_argument("--" + key + ": expected an integer");
+    long parsed = 0;
+    try {
+      parsed = std::stol(*v, &pos);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("--" + key + ": integer '" + *v + "' is out of range");
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("--" + key + ": expected an integer, got '" + *v + "'");
+    }
+    if (pos != v->size()) {
+      throw std::invalid_argument("--" + key + ": expected an integer, got '" + *v + "'");
+    }
     return parsed;
   }
 
@@ -54,8 +68,17 @@ class CliArgs {
     const auto v = get(key);
     if (!v) return fallback;
     std::size_t pos = 0;
-    const double parsed = std::stod(*v, &pos);
-    if (pos != v->size()) throw std::invalid_argument("--" + key + ": expected a number");
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(*v, &pos);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("--" + key + ": number '" + *v + "' is out of range");
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("--" + key + ": expected a number, got '" + *v + "'");
+    }
+    if (pos != v->size()) {
+      throw std::invalid_argument("--" + key + ": expected a number, got '" + *v + "'");
+    }
     return parsed;
   }
 

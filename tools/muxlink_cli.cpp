@@ -2,7 +2,8 @@
 //
 //   muxlink gen <benchmark> [--scale S] [--out file.bench]
 //   muxlink stats <file.bench>
-//   muxlink lock <file.bench> --scheme dmux|symmetric|xor|naive|trll
+//   muxlink lock <file.bench> --scheme dmux|symmetric|simll|deceptive|
+//                                      naive|xor|trll
 //                [--key-bits N] [--seed S] [--out locked.bench]
 //                [--key-out key.txt] [--allow-partial]
 //   muxlink attack <locked.bench> [--hops H] [--th T] [--epochs E]
@@ -15,6 +16,13 @@
 //                  [--clip-grad X] [--save-model model.txt] [--simd MODE]
 //                  [--zoo] [--zoo-dir D] [--warm-start REF]
 //                  [--warm-epochs N] [--warm-lr-scale X] [--no-score-cache]
+//   muxlink untangle <locked.bench>  (UNTANGLE-style routing-query mode;
+//                  same flags as attack minus --th / checkpointing)
+//   muxlink campaign [--schemes A,B] [--circuits X,Y] [--attacks M,N]
+//                  [--key-bits N] [--scale S] [--seed S] [--hops H]
+//                  [--th T] [--epochs E] [--lr L] [--links N]
+//                  [--hd-patterns N] [--workers W] [--out-dir D]
+//                  [--zoo] [--zoo-dir D] [--resume] [--report F]
 //   muxlink zoo list|info|gc|pin|unpin [<key>] [--zoo-dir D]
 //                  [--max-bytes N]
 //   muxlink saam <locked.bench>
@@ -44,9 +52,12 @@
 #include "gnn/serialize.h"
 #include "gnn/simd.h"
 #include "circuitgen/suites.h"
+#include "eval/campaign.h"
+#include "eval/table.h"
 #include "locking/mux_lock.h"
-#include "locking/trll.h"
+#include "locking/schemes.h"
 #include "muxlink/attack.h"
+#include "muxlink/untangle.h"
 #include "netlist/analysis.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
@@ -120,6 +131,18 @@ commands:
        [--warm-epochs N] fine-tuning epoch budget (default epochs/4, min 1)
        [--warm-lr-scale X]  fine-tuning LR = --lr * X (default 0.1)
        [--no-score-cache]   disable the per-link score cache
+  untangle <locked.bench>                      UNTANGLE-style routing-query
+       [--hops H] [--epochs E] [--lr L] ...    mode: per-tree argmax commit,
+                                               never abstains; shares the
+                                               attack flags minus --th and
+                                               checkpointing
+  campaign [--schemes A,B] [--circuits X,Y]    defense x attack sweep; one
+       [--attacks muxlink,untangle]            manifest per cell + one
+       [--key-bits N] [--scale S] [--seed S]   deterministic aggregate
+       [--hops H] [--th T] [--epochs E]        (byte-identical for any
+       [--lr L] [--links N] [--hd-patterns N]  --workers value)
+       [--workers W] [--out-dir D] [--resume]
+       [--zoo] [--zoo-dir D] [--report F]
   zoo list [--zoo-dir D]                       registry entries, LRU first
   zoo info <key> [--zoo-dir D]                 one entry's stored metadata
   zoo gc --max-bytes N [--zoo-dir D]           evict LRU entries over budget
@@ -174,21 +197,9 @@ int cmd_lock(const CliArgs& args) {
   opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   opts.allow_partial = args.has("allow-partial");
   const std::string scheme = args.get_or("scheme", "dmux");
-  locking::LockedDesign d;
-  if (scheme == "dmux") {
-    d = locking::lock_dmux(nl, opts);
-  } else if (scheme == "symmetric") {
-    d = locking::lock_symmetric(nl, opts);
-  } else if (scheme == "xor") {
-    d = locking::lock_xor(nl, opts);
-  } else if (scheme == "naive") {
-    d = locking::lock_naive_mux(nl, opts);
-  } else if (scheme == "trll") {
-    d = locking::lock_trll(nl, opts);
-  } else {
-    std::cerr << "unknown scheme '" << scheme << "'\n";
-    return 1;
-  }
+  // resolve_scheme throws std::invalid_argument (exit 1) listing the valid
+  // names — the same resolver campaign and the zoo key labeling go through.
+  const locking::LockedDesign d = locking::resolve_scheme(scheme)(nl, opts);
   std::cout << "locked with " << d.key_size() << " key bits (" << d.scheme
             << "); key = " << d.key_string() << "\n";
   if (const auto out = args.get("out")) {
@@ -289,6 +300,9 @@ int cmd_attack(const CliArgs& args) {
   opts.clip_grad = args.get_double("clip-grad", 0.0);
   opts.model_out = args.get_or("save-model", "");
   opts.scheme = args.get_or("scheme", "");
+  // The label is folded into the zoo key, so an unknown name would silently
+  // shard the registry; validate through the shared resolver (exit 1).
+  if (!opts.scheme.empty()) locking::resolve_scheme(opts.scheme);
   opts.zoo_dir = args.get_or("zoo-dir", "");
   opts.warm_start = args.get_or("warm-start", "");
   opts.warm_epochs = static_cast<int>(args.get_long("warm-epochs", 0));
@@ -407,6 +421,167 @@ int cmd_attack(const CliArgs& args) {
   return 0;
 }
 
+// muxlink untangle — UNTANGLE-style routing-query mode over the shared
+// scoring engine: per-tree argmax commit, no δ abstention.
+int cmd_untangle(const CliArgs& args) {
+  args.allow_only({"hops", "epochs", "lr", "links", "seed", "key-out", "recover", "threads",
+                   "report", "truth-key", "orig", "scheme", "patterns", "simd", "zoo",
+                   "zoo-dir", "no-score-cache"});
+  if (args.positional().size() != 1) return usage();
+  if (const long t = args.get_long("threads", 0); t > 0) {
+    common::set_num_threads(static_cast<std::size_t>(t));
+  }
+  if (const auto simd = args.get("simd")) {
+    common::set_simd_mode(common::parse_simd_mode(*simd));
+  }
+  const auto locked = read_design(args.positional()[0]);
+  core::MuxLinkOptions opts;
+  opts.hops = static_cast<int>(args.get_long("hops", 3));
+  opts.epochs = static_cast<int>(args.get_long("epochs", 30));
+  opts.learning_rate = args.get_double("lr", 1e-3);
+  opts.max_train_links = static_cast<std::size_t>(args.get_long("links", 100000));
+  opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  opts.scheme = args.get_or("scheme", "");
+  if (!opts.scheme.empty()) locking::resolve_scheme(opts.scheme);
+  opts.zoo_dir = args.get_or("zoo-dir", "");
+  opts.use_zoo = args.has("zoo") || args.has("zoo-dir");
+  opts.score_cache = !args.has("no-score-cache");
+  core::UntangleAttack attack(opts);
+  const auto result = attack.run(locked);
+  std::cout << "deciphered key = " << render_key(result.key) << "\n";
+  std::cout << result.queries.size() << " routing queries over " << result.target_links
+            << " candidate wires; trained on " << result.training_links << " links (val acc "
+            << result.training.best_val_accuracy << "), " << result.total_seconds
+            << "s total\n";
+  if (result.serving.zoo_enabled) {
+    std::cout << "zoo " << (result.serving.zoo_hit ? "hit" : "miss") << " ("
+              << result.serving.zoo_key << ")\n";
+  }
+  if (const auto key_out = args.get("key-out")) write_text(*key_out, render_key(result.key) + "\n");
+
+  std::optional<attacks::KeyPredictionScore> score;
+  if (const auto truth = args.get("truth-key")) {
+    const auto bits = read_truth_key(*truth);
+    if (bits.size() != result.key.size()) {
+      throw std::invalid_argument("--truth-key length " + std::to_string(bits.size()) +
+                                  " != " + std::to_string(result.key.size()) + " deciphered bits");
+    }
+    score = attacks::score_key(bits, result.key);
+    std::cout << "vs ground truth: " << score->to_string() << "\n";
+  }
+
+  std::optional<netlist::Netlist> recovered;
+  if (args.has("recover") || args.has("orig")) {
+    recovered = core::recover_design(locked, result.key);
+  }
+  if (const auto out = args.get("recover")) {
+    write_design(*recovered, *out);
+    std::cout << "wrote " << *out << "\n";
+  }
+  std::optional<double> hd;
+  if (const auto orig_path = args.get("orig")) {
+    const auto orig = read_design(*orig_path);
+    hd = report_hd_percent(orig, *recovered,
+                           static_cast<std::size_t>(args.get_long("patterns", 10000)), opts.seed);
+    std::cout << "HD vs " << orig.name() << " = " << *hd << "%\n";
+  }
+
+  if (const auto report = args.get("report")) {
+    common::RunManifest m = common::make_run_manifest("muxlink untangle");
+    m.seed = opts.seed;
+    m.circuit = locked.name();
+    m.scheme = args.get_or("scheme", "");
+    m.key_bits = static_cast<std::int64_t>(result.key.size());
+    m.add_stage("sample", result.sample_seconds);
+    m.add_stage("train", result.train_seconds);
+    m.add_stage("score", result.score_seconds);
+    m.add_stage("total", result.total_seconds);
+    m.add_result("best_val_accuracy", result.training.best_val_accuracy);
+    m.add_result("training_links", static_cast<double>(result.training_links));
+    m.add_result("target_links", static_cast<double>(result.target_links));
+    m.add_result("routing_queries", static_cast<double>(result.queries.size()));
+    std::size_t undecided = 0;
+    for (locking::KeyBit b : result.key) undecided += b == locking::KeyBit::kUnknown ? 1 : 0;
+    m.add_result("key_bits_decided", static_cast<double>(result.key.size() - undecided));
+    m.add_result("key_bits_undecided", static_cast<double>(undecided));
+    if (score) {
+      m.add_result("accuracy_percent", score->accuracy_percent());
+      m.add_result("precision_percent", score->precision_percent());
+      m.add_result("kpa_percent", score->kpa_percent());
+    }
+    if (hd) m.add_result("hd_percent", *hd);
+    common::Json extra = common::Json::object();
+    extra["hops"] = opts.hops;
+    extra["epochs"] = opts.epochs;
+    extra["deciphered_key"] = render_key(result.key);
+    m.extra = std::move(extra);
+    m.observability = common::observability_to_json();
+    write_text(*report, m.to_json().dump_pretty() + "\n");
+    std::cout << "wrote " << *report << "\n";
+  }
+  return 0;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// muxlink campaign — the defense x attack sweep (eval/campaign.h).
+int cmd_campaign(const CliArgs& args) {
+  args.allow_only({"schemes", "circuits", "attacks", "key-bits", "scale", "seed", "hops", "th",
+                   "epochs", "lr", "links", "hd-patterns", "workers", "out-dir", "zoo",
+                   "zoo-dir", "resume", "report"});
+  if (!args.positional().empty()) return usage();
+  eval::CampaignOptions opts;
+  if (const auto v = args.get("schemes")) opts.schemes = split_list(*v);
+  if (const auto v = args.get("circuits")) opts.circuits = split_list(*v);
+  if (const auto v = args.get("attacks")) opts.attacks = split_list(*v);
+  opts.key_bits = static_cast<std::size_t>(args.get_long("key-bits", 16));
+  opts.circuit_scale = args.get_double("scale", 1.0);
+  opts.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  opts.hops = static_cast<int>(args.get_long("hops", 2));
+  opts.threshold = args.get_double("th", 0.01);
+  opts.epochs = static_cast<int>(args.get_long("epochs", 10));
+  opts.learning_rate = args.get_double("lr", 1e-3);
+  opts.max_train_links = static_cast<std::size_t>(args.get_long("links", 100000));
+  opts.hd_patterns = static_cast<std::size_t>(args.get_long("hd-patterns", 2000));
+  opts.out_dir = args.get_or("out-dir", "campaign");
+  opts.zoo_dir = args.get_or("zoo-dir", "");
+  opts.use_zoo = args.has("zoo") || args.has("zoo-dir");
+  opts.resume = args.has("resume");
+  if (const long w = args.get_long("workers", 0); w > 0) {
+    common::set_num_threads(static_cast<std::size_t>(w));
+  }
+
+  const auto result = eval::run_campaign(opts);
+
+  eval::Table table({"scheme", "circuit", "attack", "K", "AC%", "PC%", "KPA%", "HD%"});
+  for (const auto& c : result.cells) {
+    table.add_row({c.scheme, c.circuit, c.attack, std::to_string(c.key_bits),
+                   eval::Table::num(c.accuracy_percent), eval::Table::num(c.precision_percent),
+                   eval::Table::num(c.kpa_percent), eval::Table::num(c.hd_percent)});
+  }
+  std::cout << table.to_string();
+  std::cout << result.cells.size() << " cells (" << result.resumed_cells
+            << " resumed), aggregate manifest: " << result.aggregate_path << "\n";
+  if (const auto report = args.get("report")) {
+    write_text(*report, result.aggregate.to_json().dump_pretty() + "\n");
+    std::cout << "wrote " << *report << "\n";
+  }
+  return 0;
+}
+
 // muxlink zoo <list|info|gc|pin|unpin> — registry maintenance.
 int cmd_zoo(const CliArgs& args) {
   args.allow_only({"zoo-dir", "max-bytes"});
@@ -505,6 +680,8 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "lock") return cmd_lock(args);
     if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "untangle") return cmd_untangle(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "zoo") return cmd_zoo(args);
     if (cmd == "saam") return cmd_simple_attack(args, true);
     if (cmd == "scope") return cmd_simple_attack(args, false);

@@ -2,6 +2,7 @@
 //
 //   report_md <run1.json> [run2.json ...] [--out table.md]
 //   report_md --serving <run1.json> [run2.json ...] [--out table.md]
+//   report_md --campaign <campaign.json> [--out table.md]
 //   report_md --check <run1.json> [run2.json ...]
 //
 // Default mode reads one or more RunManifest JSON files (as written by
@@ -10,7 +11,11 @@
 // one row per run with AC/PC/KPA/HD where the run measured them, plus the
 // training stats every attack run records. --serving renders bench_serving
 // manifests as the cold-vs-warm serving table instead (EXPERIMENTS.md,
-// DESIGN.md §11). --check validates the manifests (schema tag, provenance
+// DESIGN.md §11). --campaign renders a `muxlink campaign` aggregate
+// manifest as the defense x attack resilience matrix: one row per cell,
+// with a verdict derived from KPA against the 50% +/- 12 chance band (the
+// band the ANT/RNT protocol uses). --check validates the manifests (schema
+// tag, provenance
 // fields, stage/result sanity) and prints one OK/FAIL line per file; exit 1
 // if any file fails.
 //
@@ -152,19 +157,60 @@ std::string render_serving_table(const std::vector<RunManifest>& runs) {
   return md.str();
 }
 
+// Defense x attack resilience matrix for `muxlink campaign` aggregate
+// manifests. The verdict compares KPA against the 50% +/- 12 chance band:
+// above it the attack reads the key (vulnerable), inside it the defense
+// holds (resilient), below it the defense actively misleads the attack
+// (deceptive — worse than guessing).
+std::string render_campaign_table(const std::vector<RunManifest>& runs) {
+  std::ostringstream md;
+  md << "| Scheme | Circuit | Attack | K | AC % | PC % | KPA % | HD % | Verdict |\n";
+  md << "|---|---|---|---:|---:|---:|---:|---:|---|\n";
+  for (const RunManifest& m : runs) {
+    if (!m.extra.is_object() || !m.extra.contains("cells")) {
+      throw std::runtime_error("manifest has no extra.cells — not a campaign aggregate");
+    }
+    const Json& cells = m.extra.at("cells");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Json& c = cells.at(i);
+      const double kpa = c.number_or("kpa_percent", std::nan(""));
+      std::string verdict = "—";
+      if (!std::isnan(kpa)) {
+        if (kpa >= 62.0) {
+          verdict = "vulnerable";
+        } else if (kpa <= 38.0) {
+          verdict = "deceptive";
+        } else {
+          verdict = "resilient";
+        }
+      }
+      md << "| " << c.string_or("scheme", "—") << " | " << c.string_or("circuit", "—") << " | "
+         << c.string_or("attack", "—") << " | "
+         << cell(c.number_or("key_bits", std::nan("")), 0) << " | "
+         << cell(c.number_or("accuracy_percent", std::nan(""))) << " | "
+         << cell(c.number_or("precision_percent", std::nan(""))) << " | " << cell(kpa) << " | "
+         << cell(c.number_or("hd_percent", std::nan(""))) << " | " << verdict << " |\n";
+    }
+  }
+  return md.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const muxlink::tools::CliArgs args(argc - 1, argv + 1);
   try {
-    args.allow_only({"out", "check", "serving"});
+    args.allow_only({"out", "check", "serving", "campaign"});
     std::vector<std::string> paths = args.positional();
     // The parser binds "--check run.json" / "--serving run.json" as the
     // flag's value; that token is really the first manifest path.
     if (const auto v = args.get("check"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (const auto v = args.get("serving"); v && !v->empty()) paths.insert(paths.begin(), *v);
+    if (const auto v = args.get("campaign"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (paths.empty()) {
-      std::cerr << "usage: report_md <run.json>... [--out F]  |  report_md --check <run.json>...\n";
+      std::cerr << "usage: report_md <run.json>... [--out F]  |  report_md --check <run.json>...\n"
+                   "       report_md --serving <run.json>...  |  report_md --campaign "
+                   "<campaign.json>...\n";
       return 1;
     }
     if (args.has("check")) {
@@ -183,8 +229,9 @@ int main(int argc, char** argv) {
       if (a.scheme != b.scheme) return a.scheme < b.scheme;
       return a.key_bits < b.key_bits;
     });
-    const std::string md =
-        args.has("serving") ? render_serving_table(runs) : render_table(runs);
+    const std::string md = args.has("campaign") ? render_campaign_table(runs)
+                           : args.has("serving") ? render_serving_table(runs)
+                                                 : render_table(runs);
     if (const auto out = args.get("out")) {
       std::ofstream os(*out);
       if (!os) throw std::runtime_error("cannot write '" + *out + "'");
