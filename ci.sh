@@ -20,6 +20,13 @@
 #                    # the aggregate is byte-identical across worker counts,
 #                    # --campaign renders, CLI usage errors exit 1, and the
 #                    # CLI-parse/campaign suites pass under ASan+UBSan
+#   ./ci.sh daemon   # attack-as-a-service gate: a real muxlinkd serves a
+#                    # job over its unix socket and the result manifest must
+#                    # be byte-identical to one-shot `muxlink attack
+#                    # --deterministic`; plus a fault-injected daemon kill +
+#                    # restart drill, a SIGTERM drain check, the concurrent
+#                    # bench_daemon byte-identity gate, and the MXRPC1 suite
+#                    # under ASan+UBSan
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -76,11 +83,21 @@ run_docs() {
   # Validate the fresh manifest plus every committed one.
   build/tools/report_md --check "$d/run.json" manifests/*.json \
     manifests/campaign/*.json \
-    BENCH_pipeline.json BENCH_kernels.json BENCH_serving.json
+    BENCH_pipeline.json BENCH_kernels.json BENCH_serving.json BENCH_daemon.json
   # And make sure the renderers accept them.
   build/tools/report_md manifests/*.json >/dev/null
   build/tools/report_md --campaign manifests/campaign/campaign.json >/dev/null
+  build/tools/report_md --daemon BENCH_daemon.json >/dev/null
   rm -rf "$d"
+
+  # The wire protocol must stay documented: DESIGN.md §13 is the normative
+  # MXRPC1 spec the daemon suite tests against.
+  grep -q "## 13. Daemon & wire protocol" DESIGN.md \
+    || { echo "DESIGN.md lost its daemon/wire-protocol section" >&2; return 1; }
+  for token in MXRPC1 "CRC-32" HELLO SUBMIT "job lifecycle"; do
+    grep -qi "$token" DESIGN.md \
+      || { echo "DESIGN.md §13 lost its '$token' coverage" >&2; return 1; }
+  done
 
   # Intra-repo Markdown links must resolve (external URLs are skipped).
   local fail=0 f link target
@@ -295,6 +312,96 @@ run_campaign() {
     build-san/tests/test_campaign >/dev/null
 }
 
+run_daemon() {
+  echo "== daemon: attack-as-a-service byte-identity + crash drill =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target muxlink_cli muxlinkd bench_daemon
+  local d cli dpid rc
+  d="$(mktemp -d)"
+  cli=build/tools/muxlink
+
+  # Wait for the daemon's startup line so submits never race the bind.
+  wait_for_startup() {
+    local log="$1" tries=0
+    until grep -q "serving MXRPC1" "$log" 2>/dev/null; do
+      tries=$((tries + 1))
+      [ "$tries" -gt 100 ] && { echo "muxlinkd did not start" >&2; return 1; }
+      sleep 0.1
+    done
+  }
+
+  "$cli" gen c432 --out "$d/c.bench" >/dev/null
+  "$cli" lock "$d/c.bench" --scheme dmux --key-bits 16 --seed 1 \
+    --out "$d/l.bench" --key-out "$d/k.txt" >/dev/null
+
+  # The acceptance contract: a job served by a real muxlinkd process over
+  # its unix socket writes a result manifest byte-identical to one-shot
+  # `muxlink attack --deterministic` with the same configuration.
+  build/tools/muxlinkd --socket "$d/daemon.sock" --workers 2 \
+    --spool "$d/spool" >"$d/daemon.log" 2>&1 &
+  dpid=$!
+  wait_for_startup "$d/daemon.log" || { rm -rf "$d"; return 1; }
+  "$cli" submit "$d/l.bench" --epochs 3 --links 300 --seed 1 --scheme dmux \
+    --truth-key "$d/k.txt" --daemon "unix:$d/daemon.sock" --wait \
+    --report "$d/daemon.json" >/dev/null
+  "$cli" attack "$d/l.bench" --deterministic --epochs 3 --links 300 --seed 1 \
+    --scheme dmux --truth-key "$d/k.txt" --report "$d/oneshot.json" >/dev/null
+  cmp "$d/daemon.json" "$d/oneshot.json" \
+    || { echo "daemon manifest differs from one-shot attack" >&2; rm -rf "$d"; return 1; }
+  cmp "$d/spool/j1.json" "$d/oneshot.json" \
+    || { echo "spooled manifest differs from one-shot attack" >&2; rm -rf "$d"; return 1; }
+  "$cli" daemon stats --daemon "unix:$d/daemon.sock" | grep -q '"jobs_completed": 1' \
+    || { echo "daemon stats did not count the job" >&2; rm -rf "$d"; return 1; }
+
+  # SIGTERM drains gracefully: running jobs finish, exit status 0.
+  kill -TERM "$dpid"
+  rc=0; wait "$dpid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "drained muxlinkd exited $rc, want 0" >&2; rm -rf "$d"; return 1; }
+  grep -q "drained, exiting" "$d/daemon.log" \
+    || { echo "muxlinkd did not log its drain" >&2; rm -rf "$d"; return 1; }
+
+  # Crash drill (DESIGN.md §8/§13): the daemon.job fault site kills the
+  # daemon mid-job. The waiting client must surface a daemon error (exit 6),
+  # and a restarted daemon on the same socket must serve the resubmitted job
+  # with a manifest byte-identical to the one-shot run.
+  MUXLINK_FAULTS=daemon.job:1 build/tools/muxlinkd --socket "$d/daemon.sock" \
+    --workers 2 >"$d/crash.log" 2>&1 &
+  dpid=$!
+  wait_for_startup "$d/crash.log" || { rm -rf "$d"; return 1; }
+  rc=0
+  "$cli" submit "$d/l.bench" --epochs 3 --links 300 --seed 1 --scheme dmux \
+    --truth-key "$d/k.txt" --daemon "unix:$d/daemon.sock" --wait \
+    >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 6 ] || { echo "client exited $rc after daemon kill, want 6" >&2; rm -rf "$d"; return 1; }
+  wait "$dpid" 2>/dev/null || true  # the injected SIGKILL already landed
+  build/tools/muxlinkd --socket "$d/daemon.sock" --workers 2 \
+    >"$d/restart.log" 2>&1 &
+  dpid=$!
+  wait_for_startup "$d/restart.log" || { rm -rf "$d"; return 1; }
+  "$cli" submit "$d/l.bench" --epochs 3 --links 300 --seed 1 --scheme dmux \
+    --truth-key "$d/k.txt" --daemon "unix:$d/daemon.sock" --wait \
+    --report "$d/retry.json" >/dev/null
+  cmp "$d/retry.json" "$d/oneshot.json" \
+    || { echo "post-restart manifest differs from one-shot attack" >&2; rm -rf "$d"; return 1; }
+  "$cli" daemon shutdown --daemon "unix:$d/daemon.sock" >/dev/null
+  wait "$dpid" 2>/dev/null || true
+
+  # Concurrent-clients byte-identity gate (exit 3 on any divergence).
+  build/tools/bench_daemon --circuit c432 --key-bits 16 --epochs 3 --links 300 \
+    --jobs 4 --distinct 2 --clients 2 --workers 2 >/dev/null
+
+  # MXRPC1 framing + server contracts under ASan+UBSan.
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs" --target test_daemon
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tests/test_daemon >/dev/null
+  rm -rf "$d"
+}
+
 case "$stage" in
   tier1)  run_tier1 ;;
   san)    run_san ;;
@@ -303,7 +410,8 @@ case "$stage" in
   simd)   run_simd ;;
   serving) run_serving ;;
   campaign) run_campaign ;;
-  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving; run_campaign ;;
-  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|campaign|all]" >&2; exit 64 ;;
+  daemon) run_daemon ;;
+  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving; run_campaign; run_daemon ;;
+  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|campaign|daemon|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

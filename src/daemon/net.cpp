@@ -1,0 +1,168 @@
+#include "daemon/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace muxlink::daemon {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw DaemonError(what + ": " + std::strerror(errno));
+}
+
+int cloexec_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket");
+  return fd;
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw DaemonError("unix socket path too long (" + std::to_string(path.size()) + " bytes, max " +
+                      std::to_string(sizeof(sa.sun_path) - 1) + "): " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcp_sockaddr(const std::string& host, int port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "*") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+    return sa;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) == 1) return sa;
+  // Name lookup (IPv4 only — the daemon protocol is transport-agnostic and
+  // the reproduction keeps the resolver dependency-free).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || !res) {
+    throw DaemonError("cannot resolve host '" + host + "': " + gai_strerror(rc));
+  }
+  sa.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return sa;
+}
+
+}  // namespace
+
+std::string Address::to_string() const {
+  return kind == Kind::kUnix ? "unix:" + path : "tcp:" + host + ":" + std::to_string(port);
+}
+
+Address parse_address(const std::string& text) {
+  Address a;
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 == rest.size()) {
+      throw DaemonError("tcp address must be tcp:HOST:PORT, got '" + text + "'");
+    }
+    a.kind = Address::Kind::kTcp;
+    a.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long v = std::strtol(port.c_str(), &end, 10);
+    if (*end != '\0' || v < 0 || v > 65535) {
+      throw DaemonError("bad tcp port '" + port + "' in '" + text + "'");
+    }
+    a.port = static_cast<int>(v);
+    return a;
+  }
+  a.kind = Address::Kind::kUnix;
+  a.path = text.rfind("unix:", 0) == 0 ? text.substr(5) : text;
+  if (a.path.empty()) throw DaemonError("empty unix socket path in '" + text + "'");
+  return a;
+}
+
+std::string default_address() {
+  if (const char* env = std::getenv("MUXLINK_DAEMON"); env && *env) return env;
+  return "unix:/tmp/muxlinkd-" + std::to_string(::getuid()) + ".sock";
+}
+
+int listen_on(const Address& addr, int backlog) {
+  if (addr.kind == Address::Kind::kUnix) {
+    if (std::filesystem::symlink_status(addr.path).type() !=
+        std::filesystem::file_type::not_found) {
+      // Reuse the path only when no daemon answers on it.
+      const int probe = cloexec_socket(AF_UNIX);
+      const sockaddr_un sa = unix_sockaddr(addr.path);
+      const int rc = ::connect(probe, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+      ::close(probe);
+      if (rc == 0) {
+        throw DaemonError("a daemon is already listening on " + addr.to_string());
+      }
+      ::unlink(addr.path.c_str());
+    }
+    const int fd = cloexec_socket(AF_UNIX);
+    const sockaddr_un sa = unix_sockaddr(addr.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      fail("bind " + addr.to_string());
+    }
+    if (::listen(fd, backlog) != 0) {
+      ::close(fd);
+      fail("listen " + addr.to_string());
+    }
+    return fd;
+  }
+  const int fd = cloexec_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sa = tcp_sockaddr(addr.host, addr.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    fail("bind " + addr.to_string());
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    fail("listen " + addr.to_string());
+  }
+  return fd;
+}
+
+int bound_tcp_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) fail("getsockname");
+  return static_cast<int>(ntohs(sa.sin_port));
+}
+
+int connect_to(const Address& addr) {
+  if (addr.kind == Address::Kind::kUnix) {
+    const int fd = cloexec_socket(AF_UNIX);
+    const sockaddr_un sa = unix_sockaddr(addr.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      fail("connect " + addr.to_string());
+    }
+    return fd;
+  }
+  const int fd = cloexec_socket(AF_INET);
+  const sockaddr_in sa = tcp_sockaddr(addr.host, addr.port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    fail("connect " + addr.to_string());
+  }
+  return fd;
+}
+
+}  // namespace muxlink::daemon

@@ -1,0 +1,56 @@
+// Address parsing and stream-socket setup shared by muxlinkd and the
+// client. Two transports (DESIGN.md §13):
+//
+//   unix:/path/to.sock   Unix-domain stream socket (the default transport)
+//   tcp:host:port        TCP, for off-host clients (muxlinkd --listen)
+//
+// A bare string with no scheme prefix is a unix socket path. The default
+// address is $MUXLINK_DAEMON, else /tmp/muxlinkd-<uid>.sock.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace muxlink::daemon {
+
+// Connection-level failures (bind/listen/connect/accept, bad addresses,
+// daemon-side refusals surfaced to the client). CLI exit code 6.
+class DaemonError : public std::runtime_error {
+ public:
+  explicit DaemonError(const std::string& what, int code = 0)
+      : std::runtime_error(what), code_(code) {}
+  // ErrorCode carried by a server ERROR reply (0 = transport-level).
+  int code() const noexcept { return code_; }
+
+ private:
+  int code_;
+};
+
+struct Address {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // unix
+  std::string host;  // tcp
+  int port = 0;      // tcp
+
+  std::string to_string() const;
+};
+
+// Parses "unix:PATH", "tcp:HOST:PORT", or a bare unix path. Throws
+// DaemonError on malformed input (empty path, non-numeric port).
+Address parse_address(const std::string& text);
+
+// $MUXLINK_DAEMON when set, else unix:/tmp/muxlinkd-<uid>.sock.
+std::string default_address();
+
+// Creates, binds and listens. For unix sockets a stale socket file from a
+// dead daemon is detected (connect() fails) and replaced; a LIVE daemon on
+// the same path is a DaemonError. For tcp, port 0 binds an ephemeral port —
+// read it back with bound_tcp_port(). Returns the listening fd (CLOEXEC).
+int listen_on(const Address& addr, int backlog = 64);
+int bound_tcp_port(int fd);
+
+// One blocking connect attempt. Throws DaemonError on failure.
+int connect_to(const Address& addr);
+
+}  // namespace muxlink::daemon

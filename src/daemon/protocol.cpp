@@ -1,0 +1,207 @@
+#include "daemon/protocol.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace muxlink::daemon {
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  const auto b = [&](int i) { return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])); };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+bool is_known_type(std::uint8_t type) noexcept {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello:
+    case MsgType::kHelloOk:
+    case MsgType::kSubmit:
+    case MsgType::kSubmitOk:
+    case MsgType::kStatus:
+    case MsgType::kStatusOk:
+    case MsgType::kResult:
+    case MsgType::kResultOk:
+    case MsgType::kCancel:
+    case MsgType::kCancelOk:
+    case MsgType::kStats:
+    case MsgType::kStatsOk:
+    case MsgType::kShutdown:
+    case MsgType::kShutdownOk:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+const char* type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kHelloOk: return "HELLO_OK";
+    case MsgType::kSubmit: return "SUBMIT";
+    case MsgType::kSubmitOk: return "SUBMIT_OK";
+    case MsgType::kStatus: return "STATUS";
+    case MsgType::kStatusOk: return "STATUS_OK";
+    case MsgType::kResult: return "RESULT";
+    case MsgType::kResultOk: return "RESULT_OK";
+    case MsgType::kCancel: return "CANCEL";
+    case MsgType::kCancelOk: return "CANCEL_OK";
+    case MsgType::kStats: return "STATS";
+    case MsgType::kStatsOk: return "STATS_OK";
+    case MsgType::kShutdown: return "SHUTDOWN";
+    case MsgType::kShutdownOk: return "SHUTDOWN_OK";
+    case MsgType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kMinFrameBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_u32le(out, common::crc32(out));
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::string_view buf, std::size_t* need,
+                                  std::size_t max_frame_bytes) {
+  *need = kHeaderBytes;
+  if (buf.size() < kHeaderBytes) {
+    // Validate whatever prefix of the magic we do have, so garbage streams
+    // fail on their first bytes instead of stalling a reader forever.
+    const std::size_t n = std::min(buf.size(), sizeof(kMagic));
+    if (std::memcmp(buf.data(), kMagic, n) != 0) {
+      throw ProtocolError("MXRPC1: bad magic");
+    }
+    return std::nullopt;
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw ProtocolError("MXRPC1: bad magic");
+  }
+  const auto version = static_cast<std::uint8_t>(buf[6]);
+  if (version != kProtocolVersion) {
+    throw ProtocolError("MXRPC1: unsupported version " + std::to_string(version));
+  }
+  const auto type = static_cast<std::uint8_t>(buf[7]);
+  if (!is_known_type(type)) {
+    throw ProtocolError("MXRPC1: unknown message type " + std::to_string(type));
+  }
+  const std::uint32_t len = get_u32le(buf.data() + 8);
+  const std::size_t total = kHeaderBytes + static_cast<std::size_t>(len) + kTrailerBytes;
+  if (total > max_frame_bytes) {
+    throw ProtocolError("MXRPC1: declared frame of " + std::to_string(total) +
+                        " bytes exceeds the " + std::to_string(max_frame_bytes) + "-byte ceiling");
+  }
+  *need = total;
+  if (buf.size() < total) return std::nullopt;
+  const std::uint32_t stored = get_u32le(buf.data() + total - kTrailerBytes);
+  const std::uint32_t actual = common::crc32(buf.substr(0, total - kTrailerBytes));
+  if (stored != actual) throw ProtocolError("MXRPC1: CRC mismatch");
+  Frame f;
+  f.type = static_cast<MsgType>(type);
+  f.payload.assign(buf.data() + kHeaderBytes, len);
+  return f;
+}
+
+common::Json parse_payload(const Frame& frame) {
+  if (frame.payload.empty()) return common::Json::object();
+  try {
+    // Json::parse already rejects trailing garbage after the document.
+    return common::Json::parse(frame.payload);
+  } catch (const common::JsonError& e) {
+    throw ProtocolError(std::string("MXRPC1: bad ") + type_name(frame.type) + " payload: " +
+                        e.what());
+  }
+}
+
+std::string error_payload(ErrorCode code, const std::string& message) {
+  common::Json j = common::Json::object();
+  j["code"] = static_cast<int>(code);
+  j["message"] = message;
+  return j.dump();
+}
+
+void write_frame(int fd, MsgType type, std::string_view payload) {
+  const std::string frame = encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("MXRPC1: send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+// Reads up to `want` more bytes into `buf`, honoring the idle timeout.
+// Returns false on orderly EOF.
+bool read_some(int fd, std::string& buf, std::size_t want, int timeout_ms) {
+  if (timeout_ms > 0) {
+    pollfd p{fd, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) throw ProtocolError("MXRPC1: read timed out");
+    if (rc < 0) throw ProtocolError(std::string("MXRPC1: poll failed: ") + std::strerror(errno));
+  }
+  char tmp[4096];
+  const std::size_t chunk = std::min(want, sizeof(tmp));
+  ssize_t n;
+  do {
+    n = ::recv(fd, tmp, chunk, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw ProtocolError(std::string("MXRPC1: recv failed: ") + std::strerror(errno));
+  if (n == 0) return false;
+  buf.append(tmp, static_cast<std::size_t>(n));
+  return true;
+}
+
+}  // namespace
+
+std::optional<Frame> read_frame(int fd, std::size_t max_frame_bytes, int timeout_ms) {
+  std::string buf;
+  std::size_t need = kHeaderBytes;
+  for (;;) {
+    if (buf.size() >= need) {
+      const auto frame = decode_frame(buf, &need, max_frame_bytes);
+      if (frame) {
+        if (buf.size() != need) {
+          // A request/response exchange never pipelines past one frame;
+          // surplus bytes mean the peer lost framing.
+          throw ProtocolError("MXRPC1: trailing bytes after frame");
+        }
+        return frame;
+      }
+      continue;  // header complete, `need` now holds the full frame size
+    }
+    if (!read_some(fd, buf, need - buf.size(), timeout_ms)) {
+      if (buf.empty()) return std::nullopt;  // orderly close between frames
+      throw ProtocolError("MXRPC1: connection closed mid-frame (truncated)");
+    }
+  }
+}
+
+}  // namespace muxlink::daemon

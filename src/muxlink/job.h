@@ -1,0 +1,94 @@
+// Library-level attack jobs: one self-contained description of an attack
+// run (netlist text + every knob that affects its result) and a runner that
+// produces a DETERMINISTIC muxlink.run/v1 manifest from it.
+//
+// This is the unit of work `muxlinkd` schedules (DESIGN.md §13) and the
+// contract behind the daemon acceptance test: the same AttackJobSpec run
+// through the daemon at any worker count, through `muxlink submit`, or
+// through one-shot `muxlink attack --deterministic` writes byte-identical
+// manifest JSON. To make that possible the deterministic manifest carries
+// only scheduling-invariant data — no stage wall times, no observability
+// snapshot, no serving/cache statistics, no CPU info — and pins threads to
+// 1 (the attack itself is bit-identical at any thread count, DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "locking/resolve.h"
+#include "netlist/netlist.h"
+
+namespace muxlink::core {
+
+// Everything a worker needs to run one attack, with no filesystem
+// references: netlists travel as BENCH text so a job means the same thing
+// on every host. JSON round-trip is exact (to_json/from_json are inverses
+// for valid specs); from_json rejects unknown attacks, malformed fields and
+// trailing unknown keys so a daemon never half-understands a job.
+struct AttackJobSpec {
+  std::string attack = "muxlink";  // "muxlink" | "untangle"
+  std::string circuit;             // circuit name recorded in the manifest
+  std::string bench;               // locked netlist, BENCH text
+
+  // Attack knobs (core::MuxLinkOptions subset; defaults mirror the CLI).
+  int hops = 3;
+  double threshold = 0.01;  // MuxLink δ threshold; ignored by untangle
+  int epochs = 30;
+  double learning_rate = 1e-3;
+  std::size_t max_train_links = 100000;
+  std::uint64_t seed = 1;
+  std::string scheme;  // locking-scheme label ("" = unknown)
+
+  // Serving (DESIGN.md §11). zoo_dir resolution happens where the job RUNS
+  // (the daemon substitutes its own --zoo-dir when this is empty).
+  bool use_zoo = false;
+  std::string zoo_dir;
+  bool score_cache = true;
+
+  // Optional evaluation against ground truth: AC/PC/KPA when `truth_key`
+  // (a 0/1 bitstring) is set, recovered-design HD% when `orig_bench` holds
+  // the original design's BENCH text.
+  std::string truth_key;
+  std::string orig_bench;
+  std::size_t hd_patterns = 10000;
+
+  // Wall-clock budget enforced by the daemon scheduler (0 = none). Part of
+  // the spec (not the manifest): it never changes the computed result, only
+  // whether the daemon reports it (DESIGN.md §13 job lifecycle).
+  double timeout_seconds = 0.0;
+
+  common::Json to_json() const;
+  // Throws std::invalid_argument on unknown attack names, unknown keys, or
+  // type-mismatched fields.
+  static AttackJobSpec from_json(const common::Json& j);
+};
+
+struct AttackJobOutcome {
+  common::Json manifest;             // deterministic muxlink.run/v1 document
+  std::vector<locking::KeyBit> key;  // deciphered key, indexed by key bit
+  std::string key_string;            // same, rendered 0/1/X
+  double total_seconds = 0.0;        // wall time (NOT in the manifest)
+};
+
+// Runs the job on the calling thread (inner stages use the global pool).
+// Throws netlist::NetlistError on BENCH/trace failures and
+// std::invalid_argument on spec-level mistakes (bad scheme label,
+// truth-key length mismatch). Fault site `daemon.job` fires between the
+// attack finishing and the manifest being assembled — arming it with `kill`
+// simulates a daemon dying mid-job (DESIGN.md §8/§13).
+AttackJobOutcome run_attack_job(const AttackJobSpec& spec);
+
+// Renders a deciphered key as the 0/1/X string used everywhere.
+std::string render_key(const std::vector<locking::KeyBit>& key);
+
+// Average HD% between `orig` and `recovered` following the paper's Fig. 8
+// protocol: undeciphered key bits leave free `keyinput*` inputs in
+// `recovered`; the HD is averaged over completions of those bits
+// (enumerated up to 2^4, sampled beyond). Shared by the CLI front-ends and
+// the job runner.
+double recovered_hd_percent(const netlist::Netlist& orig, const netlist::Netlist& recovered,
+                            std::size_t patterns, std::uint64_t seed);
+
+}  // namespace muxlink::core

@@ -28,14 +28,24 @@
 //   muxlink saam <locked.bench>
 //   muxlink scope <locked.bench>
 //   muxlink hd <a.bench> <b.bench> [--patterns N] [--key BITSTRING]
+//   muxlink submit <locked.bench> [--attack muxlink|untangle]
+//                  [attack flags] [--timeout S] [--daemon ADDR] [--wait]
+//                  [--report F] [--key-out F]
+//   muxlink status <job-id> [--daemon ADDR]
+//   muxlink result <job-id> [--daemon ADDR] [--wait] [--report F]
+//                  [--key-out F]
+//   muxlink cancel <job-id> [--daemon ADDR]
+//   muxlink daemon stats|shutdown [--daemon ADDR]
 //
 // Exit-code taxonomy (DESIGN.md §8):
 //   0 success
 //   1 CLI misuse (unknown flag, bad argument)
-//   2 other processing errors
+//   2 other processing errors (including a submitted job reporting failure)
 //   3 input parse/validation errors (BENCH / Verilog / netlist)
 //   4 model-file format errors (bad magic/version, CRC mismatch, truncation)
 //   5 checkpoint errors (corrupt/torn/incompatible --resume state)
+//   6 daemon/protocol errors (MXRPC1 framing violations, unreachable or
+//     refusing daemon, version rejection)
 #include <cctype>
 #include <fstream>
 #include <iostream>
@@ -48,6 +58,7 @@
 #include "common/cpu_features.h"
 #include "common/run_manifest.h"
 #include "common/thread_pool.h"
+#include "daemon/client.h"
 #include "gnn/checkpoint.h"
 #include "gnn/serialize.h"
 #include "gnn/simd.h"
@@ -57,6 +68,7 @@
 #include "locking/mux_lock.h"
 #include "locking/schemes.h"
 #include "muxlink/attack.h"
+#include "muxlink/job.h"
 #include "muxlink/untangle.h"
 #include "netlist/analysis.h"
 #include "netlist/bench_io.h"
@@ -131,6 +143,10 @@ commands:
        [--warm-epochs N] fine-tuning epoch budget (default epochs/4, min 1)
        [--warm-lr-scale X]  fine-tuning LR = --lr * X (default 0.1)
        [--no-score-cache]   disable the per-link score cache
+       [--deterministic] run through the shared job runner and emit the
+                         DETERMINISTIC manifest variant (no stage timings,
+                         no metrics snapshot; byte-identical to the same
+                         job run through muxlinkd at any worker count)
   untangle <locked.bench>                      UNTANGLE-style routing-query
        [--hops H] [--epochs E] [--lr L] ...    mode: per-tree argmax commit,
                                                never abstains; shares the
@@ -151,6 +167,19 @@ commands:
   scope <locked.bench>                         unsupervised SCOPE attack
   hd <a.bench> <b.bench> [--patterns N]        output Hamming distance
        [--key BITSTRING] [--threads N]         (key pins for b's keyinputs)
+
+daemon client (MXRPC1 over unix socket or tcp; see muxlinkd --help):
+  submit <locked.bench> [--attack muxlink|untangle] [attack flags]
+       [--timeout S] [--daemon ADDR] [--wait] [--report F] [--key-out F]
+                                               queue a job on a muxlinkd
+  status <job-id> [--daemon ADDR]              job lifecycle state
+  result <job-id> [--daemon ADDR] [--wait]     fetch the result manifest
+       [--report F] [--key-out F]
+  cancel <job-id> [--daemon ADDR]              cancel a queued job
+  daemon stats|shutdown [--daemon ADDR]        daemon.* metrics / drain
+
+--daemon ADDR is unix:PATH, tcp:HOST:PORT, or a bare socket path
+(default: MUXLINK_DAEMON env, else /tmp/muxlinkd-<uid>.sock).
 
 --threads N caps the worker pool (default: MUXLINK_THREADS env or all
 hardware threads). Results are bit-identical for any thread count.
@@ -272,12 +301,80 @@ double report_hd_percent(const netlist::Netlist& orig, const netlist::Netlist& r
   return sum / static_cast<double>(completions);
 }
 
+// Builds the self-contained AttackJobSpec shared by `submit` and the
+// --deterministic one-shot path: netlists are inlined as canonical BENCH
+// text (Verilog inputs are converted), so the same spec means the same job
+// whether it runs here or inside a muxlinkd worker.
+core::AttackJobSpec spec_from_args(const CliArgs& args, const std::string& attack_name) {
+  core::AttackJobSpec spec;
+  spec.attack = attack_name;
+  const auto locked = read_design(args.positional()[0]);
+  spec.circuit = locked.name();
+  spec.bench = netlist::write_bench(locked);
+  spec.hops = static_cast<int>(args.get_long("hops", 3));
+  if (attack_name == "muxlink") spec.threshold = args.get_double("th", 0.01);
+  spec.epochs = static_cast<int>(args.get_long("epochs", 30));
+  spec.learning_rate = args.get_double("lr", 1e-3);
+  spec.max_train_links = static_cast<std::size_t>(args.get_long("links", 100000));
+  spec.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  spec.scheme = args.get_or("scheme", "");
+  if (!spec.scheme.empty()) locking::resolve_scheme(spec.scheme);
+  spec.zoo_dir = args.get_or("zoo-dir", "");
+  spec.use_zoo = args.has("zoo") || args.has("zoo-dir");
+  spec.score_cache = !args.has("no-score-cache");
+  if (const auto truth = args.get("truth-key")) {
+    const auto bits = read_truth_key(*truth);
+    spec.truth_key.reserve(bits.size());
+    for (const auto b : bits) spec.truth_key.push_back(b != 0 ? '1' : '0');
+  }
+  if (const auto orig = args.get("orig")) {
+    spec.orig_bench = netlist::write_bench(read_design(*orig));
+  }
+  spec.hd_patterns = static_cast<std::size_t>(args.get_long("patterns", 10000));
+  return spec;
+}
+
+// attack/untangle --deterministic: run the job through the shared runner and
+// report only scheduling-invariant data. --report then writes EXACTLY the
+// bytes a muxlinkd worker would produce for the same spec.
+int run_deterministic(const CliArgs& args, const std::string& attack_name) {
+  for (const char* flag : {"telemetry", "checkpoint-dir", "checkpoint-every", "resume",
+                           "clip-grad", "save-model", "warm-start", "warm-epochs",
+                           "warm-lr-scale"}) {
+    if (args.has(flag)) {
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " is not available with --deterministic (it is not part of an "
+                                  "AttackJobSpec)");
+    }
+  }
+  const core::AttackJobSpec spec = spec_from_args(args, attack_name);
+  const core::AttackJobOutcome outcome = core::run_attack_job(spec);
+  std::cout << "deciphered key = " << outcome.key_string << "\n";
+  std::cout << "deterministic manifest results (" << outcome.total_seconds << "s wall):\n";
+  if (const auto* results = outcome.manifest.find("results")) {
+    for (const auto& [name, value] : results->members()) {
+      std::cout << "  " << name << " = " << value.dump() << "\n";
+    }
+  }
+  if (const auto key_out = args.get("key-out")) write_text(*key_out, outcome.key_string + "\n");
+  if (const auto out = args.get("recover")) {
+    const auto locked = netlist::parse_bench(spec.bench, spec.circuit);
+    write_design(core::recover_design(locked, outcome.key), *out);
+    std::cout << "wrote " << *out << "\n";
+  }
+  if (const auto report = args.get("report")) {
+    write_text(*report, outcome.manifest.dump_pretty() + "\n");
+    std::cout << "wrote " << *report << "\n";
+  }
+  return 0;
+}
+
 int cmd_attack(const CliArgs& args) {
   args.allow_only({"hops", "th", "epochs", "lr", "links", "seed", "key-out", "recover",
                    "threads", "report", "telemetry", "truth-key", "orig", "scheme",
                    "patterns", "checkpoint-dir", "checkpoint-every", "resume", "clip-grad",
                    "save-model", "simd", "zoo", "zoo-dir", "warm-start", "warm-epochs",
-                   "warm-lr-scale", "no-score-cache"});
+                   "warm-lr-scale", "no-score-cache", "deterministic"});
   if (args.positional().size() != 1) return usage();
   if (const long t = args.get_long("threads", 0); t > 0) {
     common::set_num_threads(static_cast<std::size_t>(t));
@@ -285,6 +382,7 @@ int cmd_attack(const CliArgs& args) {
   if (const auto simd = args.get("simd")) {
     common::set_simd_mode(common::parse_simd_mode(*simd));
   }
+  if (args.has("deterministic")) return run_deterministic(args, "muxlink");
   const auto locked = read_design(args.positional()[0]);
   core::MuxLinkOptions opts;
   opts.hops = static_cast<int>(args.get_long("hops", 3));
@@ -426,7 +524,7 @@ int cmd_attack(const CliArgs& args) {
 int cmd_untangle(const CliArgs& args) {
   args.allow_only({"hops", "epochs", "lr", "links", "seed", "key-out", "recover", "threads",
                    "report", "truth-key", "orig", "scheme", "patterns", "simd", "zoo",
-                   "zoo-dir", "no-score-cache"});
+                   "zoo-dir", "no-score-cache", "deterministic"});
   if (args.positional().size() != 1) return usage();
   if (const long t = args.get_long("threads", 0); t > 0) {
     common::set_num_threads(static_cast<std::size_t>(t));
@@ -434,6 +532,7 @@ int cmd_untangle(const CliArgs& args) {
   if (const auto simd = args.get("simd")) {
     common::set_simd_mode(common::parse_simd_mode(*simd));
   }
+  if (args.has("deterministic")) return run_deterministic(args, "untangle");
   const auto locked = read_design(args.positional()[0]);
   core::MuxLinkOptions opts;
   opts.hops = static_cast<int>(args.get_long("hops", 3));
@@ -669,6 +768,118 @@ int cmd_hd(const CliArgs& args) {
   return 0;
 }
 
+// --- daemon client commands (MXRPC1; DESIGN.md §13) -------------------------
+
+daemon::DaemonClient make_client(const CliArgs& args) {
+  daemon::ClientOptions copts;
+  copts.address = args.get_or("daemon", "");
+  return daemon::DaemonClient(std::move(copts));
+}
+
+// Handles a RESULT_OK reply: prints the state, writes --report/--key-out on
+// DONE. Exit 0 when the job succeeded, 2 when it FAILED/TIMEOUT/CANCELLED,
+// 0 with just the state line when it is still in flight.
+int render_result_reply(const CliArgs& args, const common::Json& reply) {
+  const std::string state = reply.string_or("state", "?");
+  std::cout << reply.string_or("job_id", "?") << ": " << state << "\n";
+  if (state == "DONE") {
+    std::cout << "deciphered key = " << reply.string_or("key", "") << "\n";
+    if (const auto key_out = args.get("key-out")) {
+      write_text(*key_out, reply.string_or("key", "") + "\n");
+    }
+    if (const common::Json* manifest = reply.find("manifest")) {
+      if (const auto report = args.get("report")) {
+        write_text(*report, manifest->dump_pretty() + "\n");
+        std::cout << "wrote " << *report << "\n";
+      } else if (const auto* results = manifest->find("results")) {
+        for (const auto& [name, value] : results->members()) {
+          std::cout << "  " << name << " = " << value.dump() << "\n";
+        }
+      }
+    }
+    return 0;
+  }
+  if (const auto* err = reply.find("error"); err && err->is_string()) {
+    std::cout << "error: " << err->as_string() << "\n";
+  }
+  return state == "QUEUED" || state == "RUNNING" ? 0 : 2;
+}
+
+int cmd_submit(const CliArgs& args) {
+  args.allow_only({"attack", "hops", "th", "epochs", "lr", "links", "seed", "scheme",
+                   "truth-key", "orig", "patterns", "zoo", "zoo-dir", "no-score-cache",
+                   "timeout", "daemon", "wait", "report", "key-out", "poll-ms"});
+  if (args.positional().size() != 1) return usage();
+  const std::string attack_name = args.get_or("attack", "muxlink");
+  core::AttackJobSpec spec = spec_from_args(args, attack_name);
+  spec.timeout_seconds = args.get_double("timeout", 0.0);
+  auto client = make_client(args);
+  const std::string job_id = client.submit(spec);
+  std::cout << "submitted " << job_id << " (" << spec.attack << " on " << spec.circuit << ") to "
+            << client.address() << "\n";
+  if (!args.has("wait")) return 0;
+  const auto reply =
+      client.wait_for_result(job_id, static_cast<int>(args.get_long("poll-ms", 100)));
+  return render_result_reply(args, reply);
+}
+
+int cmd_status(const CliArgs& args) {
+  args.allow_only({"daemon"});
+  if (args.positional().size() != 1) return usage();
+  auto client = make_client(args);
+  const auto reply = client.status(args.positional()[0]);
+  std::cout << reply.string_or("job_id", "?") << ": " << reply.string_or("state", "?");
+  if (const auto* pos = reply.find("queue_position")) {
+    std::cout << " (queue position " << pos->as_int() << ")";
+  }
+  if (const auto* wall = reply.find("wall_seconds")) {
+    std::cout << " (" << wall->as_double() << "s)";
+  }
+  if (const auto* err = reply.find("error"); err && err->is_string()) {
+    std::cout << " — " << err->as_string();
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_result(const CliArgs& args) {
+  args.allow_only({"daemon", "wait", "report", "key-out", "poll-ms"});
+  if (args.positional().size() != 1) return usage();
+  auto client = make_client(args);
+  const std::string& job_id = args.positional()[0];
+  const auto reply =
+      args.has("wait")
+          ? client.wait_for_result(job_id, static_cast<int>(args.get_long("poll-ms", 100)))
+          : client.result(job_id);
+  return render_result_reply(args, reply);
+}
+
+int cmd_cancel(const CliArgs& args) {
+  args.allow_only({"daemon"});
+  if (args.positional().size() != 1) return usage();
+  auto client = make_client(args);
+  const auto reply = client.cancel(args.positional()[0]);
+  std::cout << reply.string_or("job_id", "?") << ": " << reply.string_or("state", "?") << "\n";
+  return 0;
+}
+
+int cmd_daemon(const CliArgs& args) {
+  args.allow_only({"daemon"});
+  if (args.positional().size() != 1) return usage();
+  const std::string& verb = args.positional()[0];
+  auto client = make_client(args);
+  if (verb == "stats") {
+    std::cout << client.stats().dump_pretty() << "\n";
+    return 0;
+  }
+  if (verb == "shutdown") {
+    client.shutdown();
+    std::cout << client.address() << " is draining\n";
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -686,10 +897,21 @@ int main(int argc, char** argv) {
     if (cmd == "saam") return cmd_simple_attack(args, true);
     if (cmd == "scope") return cmd_simple_attack(args, false);
     if (cmd == "hd") return cmd_hd(args);
+    if (cmd == "submit") return cmd_submit(args);
+    if (cmd == "status") return cmd_status(args);
+    if (cmd == "result") return cmd_result(args);
+    if (cmd == "cancel") return cmd_cancel(args);
+    if (cmd == "daemon") return cmd_daemon(args);
     return usage();
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  } catch (const daemon::ProtocolError& e) {
+    std::cerr << "protocol error: " << e.what() << "\n";
+    return 6;
+  } catch (const daemon::DaemonError& e) {
+    std::cerr << "daemon error: " << e.what() << "\n";
+    return 6;
   } catch (const gnn::ModelFormatError& e) {
     std::cerr << "model format error: " << e.what() << "\n";
     return 4;

@@ -1,0 +1,129 @@
+// muxlinkd — the MuxLink attack-as-a-service daemon (DESIGN.md §13).
+//
+//   muxlinkd [--socket PATH] [--listen HOST:PORT] [--workers N]
+//            [--max-queue N] [--job-timeout S] [--zoo-dir D]
+//            [--max-frame-mb N] [--spool D] [--threads N]
+//
+// Runs in the foreground (supervisors own daemonization) serving MXRPC1 on
+// a unix socket (default /tmp/muxlinkd-<uid>.sock) and optionally TCP.
+// SIGTERM/SIGINT start a graceful drain: queued jobs are cancelled, running
+// jobs finish, then the process exits 0. Exit codes follow the muxlink CLI
+// taxonomy: 1 usage, 6 daemon/protocol setup failures.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "common/thread_pool.h"
+#include "daemon/net.h"
+#include "daemon/server.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace muxlink;
+using tools::CliArgs;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+int usage() {
+  std::cerr <<
+      R"(usage: muxlinkd [options]
+
+  --socket PATH      unix socket to serve on (default: MUXLINK_DAEMON env,
+                     else /tmp/muxlinkd-<uid>.sock; "none" disables)
+  --listen HOST:PORT additionally serve MXRPC1 over TCP (port 0 picks an
+                     ephemeral port, printed on startup)
+  --workers N        compute workers = concurrent jobs (default 2)
+  --max-queue N      queued-job bound; submits beyond it are refused with
+                     QUEUE_FULL (default 64)
+  --job-timeout S    server-side wall-clock cap per job, seconds (0 = none);
+                     tighter of this and the job's own timeout wins
+  --zoo-dir D        model zoo served to jobs that request --zoo without
+                     naming a directory (default: MUXLINK_ZOO resolution)
+  --max-frame-mb N   MXRPC1 frame ceiling in MiB (default 64)
+  --spool D          write each completed job's manifest to D/<job-id>.json
+  --threads N        cap the shared compute pool (default: MUXLINK_THREADS
+                     env or all hardware threads); results are bit-identical
+                     for any value
+
+SIGTERM/SIGINT drain gracefully: queued jobs are cancelled, running jobs
+finish, then muxlinkd exits 0.
+)";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc - 1, argv + 1);
+  try {
+    args.allow_only({"socket", "listen", "workers", "max-queue", "job-timeout", "zoo-dir",
+                     "max-frame-mb", "spool", "threads", "help"});
+    if (args.has("help") || !args.positional().empty()) return usage();
+    if (const long t = args.get_long("threads", 0); t > 0) {
+      common::set_num_threads(static_cast<std::size_t>(t));
+    }
+
+    daemon::DaemonOptions opts;
+    std::string socket = args.get_or("socket", "");
+    if (socket.empty()) {
+      const daemon::Address def = daemon::parse_address(daemon::default_address());
+      socket = def.kind == daemon::Address::Kind::kUnix ? def.path : "";
+    }
+    if (socket != "none") opts.socket_path = socket;
+    opts.tcp_listen = args.get_or("listen", "");
+    opts.workers = static_cast<int>(args.get_long("workers", 2));
+    opts.max_queue = static_cast<std::size_t>(args.get_long("max-queue", 64));
+    opts.job_timeout_seconds = args.get_double("job-timeout", 0.0);
+    opts.zoo_dir = args.get_or("zoo-dir", "");
+    opts.max_frame_bytes = static_cast<std::size_t>(args.get_long("max-frame-mb", 64)) << 20;
+    opts.spool_dir = args.get_or("spool", "");
+    if (opts.workers < 1) throw std::invalid_argument("--workers must be >= 1");
+
+    daemon::DaemonServer server(opts);
+    server.start();
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "muxlinkd: serving MXRPC1 v1";
+    if (!opts.socket_path.empty()) std::cout << " on unix:" << opts.socket_path;
+    if (!opts.tcp_listen.empty()) std::cout << " on tcp port " << server.tcp_port();
+    std::cout << " (" << opts.workers << " workers, queue " << opts.max_queue << ")" << std::endl;
+
+    // A SHUTDOWN request (muxlink daemon shutdown) flips the server into
+    // draining; treat it exactly like a signal so supervisors can stop a
+    // daemon over its own socket.
+    while (g_signal == 0 && !server.draining()) {
+      ::usleep(200 * 1000);
+    }
+    if (g_signal != 0) {
+      std::cout << "muxlinkd: caught signal " << static_cast<int>(g_signal)
+                << ", draining (queued jobs cancelled, running jobs finishing)" << std::endl;
+    } else {
+      std::cout << "muxlinkd: shutdown requested over MXRPC1, draining" << std::endl;
+    }
+    server.request_drain();
+    server.wait_until_idle();
+    server.stop();
+    std::cout << "muxlinkd: drained, exiting" << std::endl;
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const daemon::ProtocolError& e) {
+    std::cerr << "protocol error: " << e.what() << "\n";
+    return 6;
+  } catch (const daemon::DaemonError& e) {
+    std::cerr << "daemon error: " << e.what() << "\n";
+    return 6;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
