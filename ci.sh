@@ -27,6 +27,11 @@
 #                    # restart drill, a SIGTERM drain check, the concurrent
 #                    # bench_daemon byte-identity gate, and the MXRPC1 suite
 #                    # under ASan+UBSan
+#   ./ci.sh fleet    # fleet-coordinator gate: a 2-backend chaos drill (one
+#                    # muxlinkd SIGKILLed and restarted mid-campaign) whose
+#                    # aggregate must be byte-identical to the no-fleet run,
+#                    # the bench_fleet fan-out byte-identity gate, and the
+#                    # fleet + daemon suites under ASan+UBSan
 #
 # Build trees: build/ (Release, the same tree developers use) and
 # build-san/ (ASan+UBSan). Benchmarks are compiled in both configs but only
@@ -83,11 +88,13 @@ run_docs() {
   # Validate the fresh manifest plus every committed one.
   build/tools/report_md --check "$d/run.json" manifests/*.json \
     manifests/campaign/*.json \
-    BENCH_pipeline.json BENCH_kernels.json BENCH_serving.json BENCH_daemon.json
+    BENCH_pipeline.json BENCH_kernels.json BENCH_serving.json BENCH_daemon.json \
+    BENCH_fleet.json
   # And make sure the renderers accept them.
   build/tools/report_md manifests/*.json >/dev/null
   build/tools/report_md --campaign manifests/campaign/campaign.json >/dev/null
   build/tools/report_md --daemon BENCH_daemon.json >/dev/null
+  build/tools/report_md --fleet BENCH_fleet.json >/dev/null
   rm -rf "$d"
 
   # The wire protocol must stay documented: DESIGN.md §13 is the normative
@@ -97,6 +104,16 @@ run_docs() {
   for token in MXRPC1 "CRC-32" HELLO SUBMIT "job lifecycle"; do
     grep -qi "$token" DESIGN.md \
       || { echo "DESIGN.md §13 lost its '$token' coverage" >&2; return 1; }
+  done
+
+  # Same for the fleet coordinator: DESIGN.md §14 is the normative spec the
+  # fleet suite and the chaos drill test against.
+  grep -q "## 14. Fleet coordinator" DESIGN.md \
+    || { echo "DESIGN.md lost its fleet-coordinator section" >&2; return 1; }
+  for token in WAIT_RESULT forwarded EJECTED "decorrelated" "retry budget" \
+               "spool retention" hedg; do
+    grep -qi "$token" DESIGN.md \
+      || { echo "DESIGN.md §14 lost its '$token' coverage" >&2; return 1; }
   done
 
   # Intra-repo Markdown links must resolve (external URLs are skipped).
@@ -402,6 +419,81 @@ run_daemon() {
   rm -rf "$d"
 }
 
+run_fleet() {
+  echo "== fleet: multi-daemon fan-out + chaos drill =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target muxlink_cli muxlinkd muxlink_coord bench_fleet
+  local d cli dpid1 dpid2
+  d="$(mktemp -d)"
+  cli=build/tools/muxlink
+
+  wait_for_startup() {
+    local log="$1" tries=0
+    until grep -q "serving MXRPC1" "$log" 2>/dev/null; do
+      tries=$((tries + 1))
+      [ "$tries" -gt 100 ] && { echo "muxlinkd did not start" >&2; return 1; }
+      sleep 0.1
+    done
+  }
+
+  # The no-fleet reference sweep the chaos run must reproduce byte-for-byte.
+  "$cli" campaign --schemes dmux,simll --circuits c432 --attacks muxlink,untangle \
+    --key-bits 8 --scale 0.5 --epochs 2 --hd-patterns 200 --seed 1 \
+    --workers 1 --out-dir "$d/base" >/dev/null
+
+  # Two single-worker backends; backend 1 is SIGKILLed mid-sweep and
+  # restarted on the same socket. Retry/failover + the breaker's probed
+  # re-admission must absorb the outage without changing a byte.
+  build/tools/muxlinkd --socket "$d/b1.sock" --workers 1 >"$d/b1.log" 2>&1 &
+  dpid1=$!
+  build/tools/muxlinkd --socket "$d/b2.sock" --workers 1 >"$d/b2.log" 2>&1 &
+  dpid2=$!
+  wait_for_startup "$d/b1.log" || { rm -rf "$d"; return 1; }
+  wait_for_startup "$d/b2.log" || { rm -rf "$d"; return 1; }
+  build/tools/muxlink-coord --backends "unix:$d/b1.sock,unix:$d/b2.sock" --probe \
+    | grep -c HEALTHY | grep -q 2 \
+    || { echo "coordinator probe did not see both backends healthy" >&2; rm -rf "$d"; return 1; }
+  (
+    sleep 1
+    kill -KILL "$dpid1" 2>/dev/null || true
+    sleep 0.5
+    build/tools/muxlinkd --socket "$d/b1.sock" --workers 1 >"$d/b1-restart.log" 2>&1 &
+    echo $! >"$d/b1-restart.pid"
+  ) &
+  local chaos=$!
+  "$cli" campaign --schemes dmux,simll --circuits c432 --attacks muxlink,untangle \
+    --key-bits 8 --scale 0.5 --epochs 2 --hd-patterns 200 --seed 1 \
+    --workers 1 --out-dir "$d/fleet" \
+    --fleet "unix:$d/b1.sock,unix:$d/b2.sock" \
+    --fleet-dispatch-timeout-ms 8000 --fleet-max-attempts 6 >/dev/null
+  wait "$chaos" 2>/dev/null || true
+  cmp "$d/base/campaign.json" "$d/fleet/campaign.json" \
+    || { echo "chaos-run aggregate differs from the no-fleet sweep" >&2; rm -rf "$d"; return 1; }
+  kill "$dpid2" 2>/dev/null || true
+  [ -f "$d/b1-restart.pid" ] && kill "$(cat "$d/b1-restart.pid")" 2>/dev/null || true
+  wait 2>/dev/null || true
+
+  # Fan-out byte-identity gate (exit 3 when the fleet aggregate diverges
+  # from the sequential single-daemon run).
+  build/tools/bench_fleet --circuit c432 --key-bits 16 --epochs 3 --links 300 \
+    --jobs 4 --distinct 2 --backends 2 --workers 1 >/dev/null
+
+  # Coordinator + daemon suites under ASan+UBSan: breaker races, hedge
+  # duplicates, requeue bookkeeping, and the WAIT_RESULT/forwarded paths.
+  cmake -B build-san -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    >/dev/null
+  cmake --build build-san -j "$jobs" --target test_fleet test_daemon
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tests/test_fleet >/dev/null
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    build-san/tests/test_daemon >/dev/null
+  rm -rf "$d"
+}
+
 case "$stage" in
   tier1)  run_tier1 ;;
   san)    run_san ;;
@@ -411,7 +503,8 @@ case "$stage" in
   serving) run_serving ;;
   campaign) run_campaign ;;
   daemon) run_daemon ;;
-  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving; run_campaign; run_daemon ;;
-  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|campaign|daemon|all]" >&2; exit 64 ;;
+  fleet)  run_fleet ;;
+  all)    run_tier1; run_san; run_docs; run_faults; run_simd; run_serving; run_campaign; run_daemon; run_fleet ;;
+  *) echo "usage: $0 [tier1|san|docs|faults|simd|serving|campaign|daemon|fleet|all]" >&2; exit 64 ;;
 esac
 echo "== ci.sh: $stage passed =="

@@ -30,13 +30,31 @@ void DaemonClient::ensure_connected() {
       delay_ms = static_cast<int>(delay_ms * opts_.retry_backoff);
     }
   }
-  // Version negotiation before anything else (DESIGN.md §13).
+  // Version negotiation before anything else (DESIGN.md §13), plus the
+  // §14 capability offer. The server echoes the intersection; a PR 9
+  // server echoes nothing and the connection runs as a plain v1 peer.
+  cap_wait_result_ = false;
+  cap_forwarded_ = false;
   try {
     common::Json hello = common::Json::object();
     common::Json versions = common::Json::array();
     versions.push_back(static_cast<int>(kProtocolVersion));
     hello["versions"] = std::move(versions);
-    roundtrip(MsgType::kHello, MsgType::kHelloOk, hello);
+    if (opts_.offer_caps) {
+      common::Json caps = common::Json::array();
+      caps.push_back(common::Json(kCapWaitResult));
+      caps.push_back(common::Json(kCapForwarded));
+      hello["caps"] = std::move(caps);
+    }
+    const common::Json reply = roundtrip(MsgType::kHello, MsgType::kHelloOk, hello);
+    if (const common::Json* caps = reply.find("caps"); caps && caps->is_array()) {
+      for (std::size_t i = 0; i < caps->size(); ++i) {
+        const common::Json& c = caps->at(i);
+        if (!c.is_string()) continue;
+        if (c.as_string() == kCapWaitResult) cap_wait_result_ = true;
+        if (c.as_string() == kCapForwarded) cap_forwarded_ = true;
+      }
+    }
   } catch (...) {
     ::close(fd_);
     fd_ = -1;
@@ -103,6 +121,21 @@ std::string DaemonClient::submit(const core::AttackJobSpec& spec) {
   return id;
 }
 
+std::string DaemonClient::submit_forwarded(const core::AttackJobSpec& spec,
+                                           const common::Json& provenance) {
+  ensure_connected();
+  if (!cap_forwarded_) {
+    throw DaemonError("daemon at " + address_text_ + " did not negotiate the forwarded cap");
+  }
+  common::Json envelope = common::Json::object();
+  envelope["spec"] = spec.to_json();
+  envelope["forwarded"] = provenance;
+  const common::Json reply = roundtrip(MsgType::kSubmit, MsgType::kSubmitOk, envelope);
+  const std::string id = reply.string_or("job_id", "");
+  if (id.empty()) throw ProtocolError("MXRPC1: SUBMIT_OK reply carried no job_id");
+  return id;
+}
+
 common::Json DaemonClient::status(const std::string& job_id) {
   return roundtrip(MsgType::kStatus, MsgType::kStatusOk, job_id_payload(job_id));
 }
@@ -123,7 +156,35 @@ common::Json DaemonClient::shutdown() {
   return roundtrip(MsgType::kShutdown, MsgType::kShutdownOk, common::Json::object());
 }
 
+common::Json DaemonClient::wait_result(const std::string& job_id, long timeout_ms) {
+  ensure_connected();
+  if (!cap_wait_result_) {
+    throw DaemonError("daemon at " + address_text_ + " did not negotiate the wait_result cap");
+  }
+  common::Json req = job_id_payload(job_id);
+  req["timeout_ms"] = static_cast<std::int64_t>(timeout_ms);
+  return roundtrip(MsgType::kWaitResult, MsgType::kWaitResultOk, req);
+}
+
+bool DaemonClient::has_cap(std::string_view name) {
+  ensure_connected();
+  if (name == kCapWaitResult) return cap_wait_result_;
+  if (name == kCapForwarded) return cap_forwarded_;
+  return false;
+}
+
 common::Json DaemonClient::wait_for_result(const std::string& job_id, int poll_interval_ms) {
+  ensure_connected();
+  if (cap_wait_result_) {
+    // Long-poll: the server parks the request until the job is terminal or
+    // its per-request cap expires, so the poll-cadence latency of the PR 9
+    // loop disappears. A non-terminal reply just means "ask again".
+    for (;;) {
+      const common::Json reply = wait_result(job_id, 0 /* server cap */);
+      const std::string state = reply.string_or("state", "");
+      if (state != "QUEUED" && state != "RUNNING") return reply;
+    }
+  }
   for (;;) {
     const common::Json st = status(job_id);
     const std::string state = st.string_or("state", "");

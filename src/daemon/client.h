@@ -23,6 +23,9 @@ struct ClientOptions {
   double retry_backoff = 2.0;  // 50, 100, 200, 400 ms between attempts
   int io_timeout_ms = 0;       // per-reply wait (0 = block; jobs can run minutes)
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Capabilities offered in HELLO (DESIGN.md §14); false emulates a PR 9
+  // v1 peer, which servers must keep serving via plain RESULT polling.
+  bool offer_caps = true;
 };
 
 class DaemonClient {
@@ -35,15 +38,29 @@ class DaemonClient {
   // Submits a job; returns its daemon-assigned id ("j1", "j2", ...).
   std::string submit(const core::AttackJobSpec& spec);
 
+  // Submits inside a `forwarded` envelope carrying coordinator provenance
+  // (requires the negotiated `forwarded` cap; DaemonError otherwise).
+  std::string submit_forwarded(const core::AttackJobSpec& spec, const common::Json& provenance);
+
   common::Json status(const std::string& job_id);
   common::Json result(const std::string& job_id);
   common::Json cancel(const std::string& job_id);
   common::Json stats();
   common::Json shutdown();  // asks the daemon to drain
 
-  // Polls status until the job reaches a terminal state, then fetches the
-  // result reply. `poll_interval_ms` bounds the status cadence.
+  // One WAIT_RESULT long-poll roundtrip (requires the `wait_result` cap).
+  // The reply is RESULT_OK-shaped; a non-terminal state means the server
+  // deadline expired first.
+  common::Json wait_result(const std::string& job_id, long timeout_ms);
+
+  // Blocks until the job reaches a terminal state and returns the result
+  // reply. Uses WAIT_RESULT long-polls when the connection negotiated the
+  // cap, else falls back to the PR 9 status-poll cadence.
   common::Json wait_for_result(const std::string& job_id, int poll_interval_ms = 100);
+
+  // True when the connected daemon negotiated `name` in HELLO (connects
+  // lazily if needed).
+  bool has_cap(std::string_view name);
 
   const std::string& address() const noexcept { return address_text_; }
 
@@ -55,6 +72,8 @@ class DaemonClient {
   Address address_;
   std::string address_text_;
   int fd_ = -1;
+  bool cap_wait_result_ = false;  // negotiated on the current connection
+  bool cap_forwarded_ = false;
 };
 
 }  // namespace muxlink::daemon

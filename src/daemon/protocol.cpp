@@ -43,6 +43,8 @@ bool is_known_type(std::uint8_t type) noexcept {
     case MsgType::kStatsOk:
     case MsgType::kShutdown:
     case MsgType::kShutdownOk:
+    case MsgType::kWaitResult:
+    case MsgType::kWaitResultOk:
     case MsgType::kError:
       return true;
   }
@@ -65,6 +67,8 @@ const char* type_name(MsgType t) noexcept {
     case MsgType::kStatsOk: return "STATS_OK";
     case MsgType::kShutdown: return "SHUTDOWN";
     case MsgType::kShutdownOk: return "SHUTDOWN_OK";
+    case MsgType::kWaitResult: return "WAIT_RESULT";
+    case MsgType::kWaitResultOk: return "WAIT_RESULT_OK";
     case MsgType::kError: return "ERROR";
   }
   return "?";

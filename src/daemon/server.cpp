@@ -16,9 +16,9 @@
 #include <thread>
 #include <vector>
 
-#include "common/atomic_file.h"
 #include "common/metrics.h"
 #include "daemon/net.h"
+#include "daemon/spool.h"
 
 namespace muxlink::daemon {
 
@@ -71,8 +71,9 @@ struct DaemonServer::Impl {
   // Job table + bounded FIFO queue. One mutex guards both: every operation
   // here is bookkeeping (the minutes-long attack runs outside the lock).
   mutable std::mutex m;
-  std::condition_variable job_cv;   // workers wait here
-  std::condition_variable idle_cv;  // wait_until_idle waits here
+  std::condition_variable job_cv;     // workers wait here
+  std::condition_variable idle_cv;    // wait_until_idle waits here
+  std::condition_variable result_cv;  // WAIT_RESULT long-polls wait here
   std::map<std::string, std::shared_ptr<JobRecord>> jobs;
   std::deque<std::string> queue;
   std::uint64_t next_id = 1;
@@ -100,6 +101,10 @@ struct DaemonServer::Impl {
   std::atomic<std::uint64_t> connections_accepted{0};
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> requests_served{0};
+  std::atomic<std::uint64_t> jobs_forwarded{0};   // SUBMITs in a forwarded envelope
+  std::atomic<std::uint64_t> wait_requests{0};    // WAIT_RESULT long-polls served
+
+  std::unique_ptr<ResultSpool> spool;  // nullptr when spool_dir is empty
 
   // --- lifecycle -----------------------------------------------------------
 
@@ -110,9 +115,15 @@ struct DaemonServer::Impl {
     }
     if (opts.workers < 1) throw DaemonError("daemon needs at least one worker");
     if (!opts.spool_dir.empty()) {
-      std::error_code ec;
-      std::filesystem::create_directories(opts.spool_dir, ec);
-      if (ec) throw DaemonError("cannot create spool dir " + opts.spool_dir + ": " + ec.message());
+      SpoolOptions sopts;
+      sopts.dir = opts.spool_dir;
+      sopts.max_bytes = opts.spool_max_bytes;
+      sopts.ttl_seconds = opts.spool_ttl_seconds;
+      try {
+        spool = std::make_unique<ResultSpool>(std::move(sopts));
+      } catch (const std::exception& e) {
+        throw DaemonError(std::string("cannot open spool: ") + e.what());
+      }
     }
     if (!opts.socket_path.empty()) {
       Address a;
@@ -162,6 +173,7 @@ struct DaemonServer::Impl {
     MUXLINK_GAUGE_SET("daemon.queue_depth", 0.0);
     job_cv.notify_all();
     idle_cv.notify_all();
+    result_cv.notify_all();
   }
 
   void wait_until_idle() {
@@ -187,6 +199,7 @@ struct DaemonServer::Impl {
     job_cv.notify_all();
     conn_cv.notify_all();
     idle_cv.notify_all();
+    result_cv.notify_all();
     for (auto& t : accept_threads) t.join();
     accept_threads.clear();
     for (auto& t : handler_threads) t.join();
@@ -242,8 +255,16 @@ struct DaemonServer::Impl {
     }
   }
 
-  void serve_connection(int fd) {
+  // Per-connection negotiated state: HELLO-first discipline plus the
+  // capability set agreed in HELLO (DESIGN.md §14). Absent caps = v1 peer.
+  struct ConnState {
     bool hello_done = false;
+    bool cap_wait_result = false;
+    bool cap_forwarded = false;
+  };
+
+  void serve_connection(int fd) {
+    ConnState conn;
     while (!stop_requested()) {
       // Short poll so shutdown never waits on an idle client; the io
       // timeout inside read_frame only bounds mid-frame stalls.
@@ -268,7 +289,7 @@ struct DaemonServer::Impl {
       ++requests_served;
       MUXLINK_COUNTER_ADD("daemon.requests", 1);
       try {
-        if (!dispatch(fd, *frame, hello_done)) return;
+        if (!dispatch(fd, *frame, conn)) return;
       } catch (const ProtocolError& e) {
         ++protocol_errors;
         MUXLINK_COUNTER_ADD("daemon.protocol_errors", 1);
@@ -287,7 +308,7 @@ struct DaemonServer::Impl {
   }
 
   // Returns false when the connection must close (version rejection).
-  bool dispatch(int fd, const Frame& frame, bool& hello_done) {
+  bool dispatch(int fd, const Frame& frame, ConnState& conn) {
     if (frame.type == MsgType::kHello) {
       const common::Json req = parse_payload(frame);
       bool ok = false;
@@ -303,22 +324,40 @@ struct DaemonServer::Impl {
                                   "server speaks MXRPC1 version 1 only"));
         return false;
       }
+      // Capability negotiation: the connection speaks the intersection of
+      // the client's offered caps and ours; unknown names are ignored so
+      // future clients degrade cleanly. An absent "caps" key is a v1 peer.
+      conn.cap_wait_result = false;
+      conn.cap_forwarded = false;
+      if (const common::Json* caps = req.find("caps"); caps && caps->is_array()) {
+        for (std::size_t i = 0; i < caps->size(); ++i) {
+          const common::Json& c = caps->at(i);
+          if (!c.is_string()) continue;
+          if (c.as_string() == kCapWaitResult) conn.cap_wait_result = true;
+          if (c.as_string() == kCapForwarded) conn.cap_forwarded = true;
+        }
+      }
       common::Json reply = common::Json::object();
       reply["version"] = static_cast<int>(kProtocolVersion);
       reply["server"] = "muxlinkd";
+      common::Json caps = common::Json::array();
+      if (conn.cap_wait_result) caps.push_back(common::Json(std::string(kCapWaitResult)));
+      if (conn.cap_forwarded) caps.push_back(common::Json(std::string(kCapForwarded)));
+      if (caps.size() > 0) reply["caps"] = caps;
       write_frame(fd, MsgType::kHelloOk, reply.dump());
-      hello_done = true;
+      conn.hello_done = true;
       return true;
     }
-    if (!hello_done) {
+    if (!conn.hello_done) {
       write_frame(fd, MsgType::kError,
                   error_payload(ErrorCode::kBadRequest, "HELLO must be the first message"));
       return true;
     }
     switch (frame.type) {
-      case MsgType::kSubmit: return handle_submit(fd, frame);
+      case MsgType::kSubmit: return handle_submit(fd, frame, conn);
       case MsgType::kStatus: return handle_status(fd, frame);
       case MsgType::kResult: return handle_result(fd, frame);
+      case MsgType::kWaitResult: return handle_wait_result(fd, frame, conn);
       case MsgType::kCancel: return handle_cancel(fd, frame);
       case MsgType::kStats:
         write_frame(fd, MsgType::kStatsOk, stats_json().dump());
@@ -339,10 +378,26 @@ struct DaemonServer::Impl {
     }
   }
 
-  bool handle_submit(int fd, const Frame& frame) {
+  bool handle_submit(int fd, const Frame& frame, const ConnState& conn) {
     core::AttackJobSpec spec;
+    bool forwarded = false;
     try {
-      spec = core::AttackJobSpec::from_json(parse_payload(frame));
+      common::Json payload = parse_payload(frame);
+      // Coordinator envelope (negotiated `forwarded` cap): the spec rides
+      // under "spec" with provenance alongside; the spec JSON itself stays
+      // exactly the PR 9 document, so from_json's strict key set holds.
+      if (payload.is_object() && payload.find("spec")) {
+        if (!conn.cap_forwarded) {
+          write_frame(fd, MsgType::kError,
+                      error_payload(ErrorCode::kBadRequest,
+                                    "forwarded SUBMIT envelope without the forwarded cap"));
+          return true;
+        }
+        forwarded = true;
+        spec = core::AttackJobSpec::from_json(payload.at("spec"));
+      } else {
+        spec = core::AttackJobSpec::from_json(payload);
+      }
     } catch (const std::invalid_argument& e) {
       write_frame(fd, MsgType::kError, error_payload(ErrorCode::kBadRequest, e.what()));
       return true;
@@ -382,6 +437,10 @@ struct DaemonServer::Impl {
       depth = queue.size();
     }
     ++jobs_submitted;
+    if (forwarded) {
+      ++jobs_forwarded;
+      MUXLINK_COUNTER_ADD("daemon.jobs_forwarded", 1);
+    }
     MUXLINK_COUNTER_ADD("daemon.jobs_submitted", 1);
     MUXLINK_GAUGE_SET("daemon.queue_depth", static_cast<double>(depth));
     job_cv.notify_one();
@@ -438,11 +497,12 @@ struct DaemonServer::Impl {
     return true;
   }
 
-  bool handle_result(int fd, const Frame& frame) {
-    std::string id;
-    const auto rec = lookup_job(fd, frame, &id);
-    if (!rec) return true;
+  // Builds the RESULT_OK/WAIT_RESULT_OK document and, when the result was
+  // actually delivered, releases its spool pin (fetched entries become
+  // eligible for retention GC).
+  common::Json result_reply(const std::shared_ptr<JobRecord>& rec) {
     common::Json reply = common::Json::object();
+    bool delivered = false;
     {
       std::lock_guard<std::mutex> lock(m);
       reply["job_id"] = rec->id;
@@ -450,11 +510,56 @@ struct DaemonServer::Impl {
       if (rec->state == JobState::kDone) {
         reply["manifest"] = rec->manifest;
         reply["key"] = rec->key_string;
+        delivered = true;
       } else if (!rec->error.empty()) {
         reply["error"] = rec->error;
       }
     }
-    write_frame(fd, MsgType::kResultOk, reply.dump());
+    if (delivered && spool) spool->mark_fetched(rec->id);
+    return reply;
+  }
+
+  bool handle_result(int fd, const Frame& frame) {
+    std::string id;
+    const auto rec = lookup_job(fd, frame, &id);
+    if (!rec) return true;
+    write_frame(fd, MsgType::kResultOk, result_reply(rec).dump());
+    return true;
+  }
+
+  // WAIT_RESULT long-poll: blocks this connection handler until the job is
+  // terminal, the (server-clamped) deadline passes, or the daemon stops.
+  // The reply is RESULT_OK-shaped; a non-terminal state means "deadline
+  // expired first, re-issue if you still care". Waiting in short slices
+  // keeps shutdown latency bounded without a per-job waiter registry.
+  bool handle_wait_result(int fd, const Frame& frame, const ConnState& conn) {
+    if (!conn.cap_wait_result) {
+      write_frame(fd, MsgType::kError,
+                  error_payload(ErrorCode::kBadRequest,
+                                "WAIT_RESULT without the wait_result cap"));
+      return true;
+    }
+    std::string id;
+    const auto rec = lookup_job(fd, frame, &id);
+    if (!rec) return true;
+    long timeout_ms = 0;
+    {
+      const common::Json req = parse_payload(frame);
+      if (const common::Json* t = req.find("timeout_ms"); t && t->is_number()) {
+        timeout_ms = static_cast<long>(t->as_double());
+      }
+    }
+    const long cap = std::max(0, opts.wait_result_cap_ms);
+    if (timeout_ms <= 0 || timeout_ms > cap) timeout_ms = cap;
+    ++wait_requests;
+    MUXLINK_COUNTER_ADD("daemon.wait_requests", 1);
+    const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    {
+      std::unique_lock<std::mutex> lock(m);
+      result_cv.wait_until(lock, deadline,
+                           [&] { return stopping || is_terminal(rec->state); });
+    }
+    write_frame(fd, MsgType::kWaitResultOk, result_reply(rec).dump());
     return true;
   }
 
@@ -486,6 +591,7 @@ struct DaemonServer::Impl {
       ++jobs_cancelled;
       MUXLINK_COUNTER_ADD("daemon.jobs_cancelled", 1);
       idle_cv.notify_all();
+      result_cv.notify_all();
     }
     write_frame(fd, MsgType::kCancelOk, reply.dump());
     return true;
@@ -510,6 +616,7 @@ struct DaemonServer::Impl {
           rec->error = "deadline passed before the job started";
           ++jobs_timeout;
           idle_cv.notify_all();
+          result_cv.notify_all();
           continue;
         }
         rec->state = JobState::kRunning;
@@ -551,10 +658,9 @@ struct DaemonServer::Impl {
       key_string.clear();
     }
     std::string spool_error;
-    if (final_state == JobState::kDone && !opts.spool_dir.empty()) {
+    if (final_state == JobState::kDone && spool) {
       try {
-        common::atomic_write_file(opts.spool_dir + "/" + rec.id + ".json",
-                                  manifest.dump_pretty() + "\n");
+        spool->put(rec.id, manifest.dump_pretty() + "\n");
       } catch (const std::exception& e) {
         spool_error = e.what();
       }
@@ -566,22 +672,26 @@ struct DaemonServer::Impl {
       rec.manifest = std::move(manifest);
       rec.key_string = std::move(key_string);
       rec.wall_seconds = seconds_between(t0, t1);
+      // Counters bump inside the critical section that publishes the
+      // terminal state: a WAIT_RESULT long-poller wakes the instant the
+      // state flips, and its follow-up STATS must already see this job.
+      switch (final_state) {
+        case JobState::kDone:
+          ++jobs_completed;
+          MUXLINK_COUNTER_ADD("daemon.jobs_completed", 1);
+          break;
+        case JobState::kFailed:
+          ++jobs_failed;
+          MUXLINK_COUNTER_ADD("daemon.jobs_failed", 1);
+          break;
+        case JobState::kTimeout:
+          ++jobs_timeout;
+          MUXLINK_COUNTER_ADD("daemon.jobs_timeout", 1);
+          break;
+        default: break;
+      }
     }
-    switch (final_state) {
-      case JobState::kDone:
-        ++jobs_completed;
-        MUXLINK_COUNTER_ADD("daemon.jobs_completed", 1);
-        break;
-      case JobState::kFailed:
-        ++jobs_failed;
-        MUXLINK_COUNTER_ADD("daemon.jobs_failed", 1);
-        break;
-      case JobState::kTimeout:
-        ++jobs_timeout;
-        MUXLINK_COUNTER_ADD("daemon.jobs_timeout", 1);
-        break;
-      default: break;
-    }
+    result_cv.notify_all();
     MUXLINK_HISTOGRAM_RECORD("daemon.job_seconds", seconds_between(t0, t1));
     if (!spool_error.empty()) {
       MUXLINK_COUNTER_ADD("daemon.spool_errors", 1);
@@ -614,6 +724,18 @@ struct DaemonServer::Impl {
     j["connections_accepted"] = static_cast<std::int64_t>(connections_accepted.load());
     j["requests_served"] = static_cast<std::int64_t>(requests_served.load());
     j["protocol_errors"] = static_cast<std::int64_t>(protocol_errors.load());
+    j["jobs_forwarded"] = static_cast<std::int64_t>(jobs_forwarded.load());
+    j["wait_requests"] = static_cast<std::int64_t>(wait_requests.load());
+    if (spool) {
+      const SpoolStats s = spool->stats();
+      common::Json sj = common::Json::object();
+      sj["entries"] = static_cast<std::int64_t>(s.entries);
+      sj["bytes"] = static_cast<std::int64_t>(s.bytes);
+      sj["unfetched"] = static_cast<std::int64_t>(s.unfetched);
+      sj["gc_removed"] = static_cast<std::int64_t>(s.gc_removed);
+      sj["recovered_temps"] = static_cast<std::int64_t>(s.recovered_temps);
+      j["spool"] = sj;
+    }
     return j;
   }
 };

@@ -42,7 +42,15 @@ struct DaemonOptions {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   int io_timeout_ms = 10000;  // mid-frame stall budget per connection read
   std::string spool_dir;      // completed-job manifests land here ("" = in-memory only)
-  std::string zoo_dir;        // substituted into zoo jobs that name no directory
+  // Spool retention (DESIGN.md §14): both 0 = keep everything (PR 9
+  // behavior). Unfetched results are pinned regardless of either knob.
+  std::uint64_t spool_max_bytes = 0;
+  long spool_ttl_seconds = 0;
+  // Server-side ceiling on one WAIT_RESULT long-poll. A client asking for
+  // more gets clamped and re-issues; keeping this below the client's io
+  // timeout guarantees a hung server is still detected as a stall.
+  int wait_result_cap_ms = 5000;
+  std::string zoo_dir;  // substituted into zoo jobs that name no directory
 };
 
 // Job lifecycle (DESIGN.md §13 state machine):

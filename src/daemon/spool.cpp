@@ -1,0 +1,204 @@
+#include "daemon/spool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/atomic_file.h"
+
+namespace muxlink::daemon {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kEntrySuffix = ".json";
+constexpr std::string_view kMarkerSuffix = ".fetched";
+
+struct Entry {
+  std::string id;
+  fs::path path;
+  std::uint64_t bytes = 0;
+  fs::file_time_type mtime;
+  bool fetched = false;
+};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+fs::path entry_path(const fs::path& dir, const std::string& id) {
+  return dir / (id + std::string(kEntrySuffix));
+}
+
+fs::path marker_path(const fs::path& dir, const std::string& id) {
+  return dir / (id + std::string(kMarkerSuffix));
+}
+
+// Scans the spool directory into its current entry list. Files that vanish
+// mid-scan (a concurrent gc) are simply skipped.
+std::vector<Entry> scan(const fs::path& dir) {
+  std::vector<Entry> out;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (!ends_with(name, kEntrySuffix)) continue;
+    Entry e;
+    e.id = name.substr(0, name.size() - kEntrySuffix.size());
+    e.path = de.path();
+    std::error_code sec;
+    e.bytes = static_cast<std::uint64_t>(fs::file_size(de.path(), sec));
+    if (sec) continue;
+    e.mtime = fs::last_write_time(de.path(), sec);
+    if (sec) continue;
+    e.fetched = fs::exists(marker_path(dir, e.id), sec);
+    out.push_back(std::move(e));
+  }
+  // Deterministic order: oldest first, name-sorted within one timestamp.
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void remove_entry(const fs::path& dir, const Entry& e) {
+  std::error_code ec;
+  fs::remove(e.path, ec);
+  fs::remove(marker_path(dir, e.id), ec);
+}
+
+}  // namespace
+
+ResultSpool::ResultSpool(SpoolOptions opts) : opts_(std::move(opts)) {
+  if (opts_.dir.empty()) throw std::runtime_error("ResultSpool: empty spool directory");
+  std::error_code ec;
+  fs::create_directories(opts_.dir, ec);
+  if (ec && !fs::is_directory(opts_.dir)) {
+    throw std::runtime_error("ResultSpool: cannot create '" + opts_.dir + "': " + ec.message());
+  }
+  // Crash recovery: a writer killed mid-put leaves a `<name>.tmp.<pid>.<n>`
+  // staging file; a gc killed between entry and marker removal leaves an
+  // orphan marker. Both are invisible to readers but cost bytes — sweep.
+  for (const auto& de : fs::directory_iterator(opts_.dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      std::error_code rec;
+      fs::remove(de.path(), rec);
+      if (!rec) ++recovered_temps_;
+      continue;
+    }
+    if (ends_with(name, kMarkerSuffix)) {
+      const std::string id = name.substr(0, name.size() - kMarkerSuffix.size());
+      std::error_code sec;
+      if (!fs::exists(entry_path(opts_.dir, id), sec)) {
+        std::error_code rec;
+        fs::remove(de.path(), rec);
+      }
+    }
+  }
+}
+
+void ResultSpool::put(const std::string& job_id, std::string_view payload) {
+  std::lock_guard<std::mutex> lk(m_);
+  std::error_code ec;
+  fs::remove(marker_path(opts_.dir, job_id), ec);  // a rewrite is unfetched again
+  common::atomic_write_file(entry_path(opts_.dir, job_id), payload);
+  gc_locked();
+}
+
+std::optional<std::string> ResultSpool::get(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::ifstream is(entry_path(opts_.dir, job_id));
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void ResultSpool::mark_fetched(const std::string& job_id) {
+  std::lock_guard<std::mutex> lk(m_);
+  std::error_code ec;
+  if (!fs::exists(entry_path(opts_.dir, job_id), ec)) return;
+  // The marker is metadata, not payload: a plain create is enough — losing
+  // it to a crash only delays GC, it never loses a result.
+  std::ofstream os(marker_path(opts_.dir, job_id));
+  gc_locked();
+}
+
+bool ResultSpool::fetched(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::error_code ec;
+  return fs::exists(marker_path(opts_.dir, job_id), ec);
+}
+
+std::vector<std::string> ResultSpool::ids() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> out;
+  for (const Entry& e : scan(opts_.dir)) out.push_back(e.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ResultSpool::gc() {
+  std::lock_guard<std::mutex> lk(m_);
+  gc_locked();
+}
+
+void ResultSpool::gc_locked() {
+  if (opts_.max_bytes == 0 && opts_.ttl_seconds <= 0) return;
+  std::vector<Entry> entries = scan(opts_.dir);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries) total += e.bytes;
+
+  // Pass 1: TTL. Fetched entries older than the deadline go regardless of
+  // the size cap; unfetched entries are pinned.
+  if (opts_.ttl_seconds > 0) {
+    const auto deadline =
+        fs::file_time_type::clock::now() - std::chrono::seconds(opts_.ttl_seconds);
+    std::vector<Entry> kept;
+    kept.reserve(entries.size());
+    for (const Entry& e : entries) {
+      if (e.fetched && e.mtime < deadline) {
+        remove_entry(opts_.dir, e);
+        total -= std::min(total, e.bytes);
+        ++gc_removed_;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    entries.swap(kept);
+  }
+
+  // Pass 2: size cap, oldest fetched entries first. Unfetched entries are
+  // spared, so the spool may legitimately sit above the cap while results
+  // await pickup — that is the pinned-until-fetched contract.
+  if (opts_.max_bytes > 0 && total > opts_.max_bytes) {
+    for (const Entry& e : entries) {
+      if (total <= opts_.max_bytes) break;
+      if (!e.fetched) continue;
+      remove_entry(opts_.dir, e);
+      total -= std::min(total, e.bytes);
+      ++gc_removed_;
+    }
+  }
+}
+
+SpoolStats ResultSpool::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  SpoolStats s;
+  for (const Entry& e : scan(opts_.dir)) {
+    ++s.entries;
+    s.bytes += e.bytes;
+    if (!e.fetched) ++s.unfetched;
+  }
+  s.gc_removed = gc_removed_;
+  s.recovered_temps = recovered_temps_;
+  return s;
+}
+
+}  // namespace muxlink::daemon

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -13,10 +15,11 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "fleet/coordinator.h"
 #include "locking/resolve.h"
 #include "locking/schemes.h"
-#include "muxlink/attack.h"
-#include "muxlink/untangle.h"
+#include "muxlink/job.h"
+#include "netlist/bench_io.h"
 
 namespace muxlink::eval {
 
@@ -46,11 +49,11 @@ std::optional<double> result_of(const common::RunManifest& m, const std::string&
   return std::nullopt;
 }
 
-std::string render_key(const std::vector<locking::KeyBit>& key) {
-  std::string s;
-  for (locking::KeyBit b : key) s.push_back(locking::to_char(b));
-  return s;
-}
+// Where a cell's attack actually executes: in-process (core::run_attack_job)
+// or on a fleet backend. Both consume the same AttackJobSpec, so the key —
+// and therefore every aggregate metric — is identical either way (the PR 9
+// determinism contract makes the job location-invariant).
+using CellExec = std::function<core::AttackJobOutcome(const core::AttackJobSpec&)>;
 
 // Loads a previously written cell manifest; nullopt when it is missing,
 // torn, or lacks any of the metrics the aggregate needs (then the cell
@@ -90,7 +93,8 @@ std::optional<CampaignCell> load_cell(const CellSpec& spec, const fs::path& path
   return cell;
 }
 
-CampaignCell run_cell(const CellSpec& spec, const CampaignOptions& opts, const fs::path& path) {
+CampaignCell run_cell(const CellSpec& spec, const CampaignOptions& opts, const fs::path& path,
+                      const CellExec& exec) {
   const auto t_total = std::chrono::steady_clock::now();
   const auto original = circuitgen::make_benchmark(spec.circuit, opts.circuit_scale);
   locking::MuxLockOptions lopts;
@@ -99,42 +103,33 @@ CampaignCell run_cell(const CellSpec& spec, const CampaignOptions& opts, const f
   lopts.allow_partial = true;  // small circuits take what fits; the cell records it
   const auto design = locking::resolve_scheme(spec.scheme)(original, lopts);
 
-  core::MuxLinkOptions aopts;
-  aopts.hops = opts.hops;
-  aopts.threshold = opts.threshold;
-  aopts.epochs = opts.epochs;
-  aopts.learning_rate = opts.learning_rate;
-  aopts.max_train_links = opts.max_train_links;
-  aopts.seed = opts.seed;
-  aopts.scheme = spec.scheme;
-  aopts.use_zoo = opts.use_zoo;
-  aopts.zoo_dir = opts.zoo_dir;
+  // The attack travels as an AttackJobSpec: locked netlist as BENCH text,
+  // no ground truth (the truth key never leaves this process — AC/PC/KPA
+  // and the paper's HD protocol are computed locally from the returned
+  // key, which also keeps the job-runner's HD variant out of the cell).
+  core::AttackJobSpec jspec;
+  jspec.attack = spec.attack;
+  jspec.circuit = spec.circuit;
+  jspec.bench = netlist::write_bench(design.netlist);
+  jspec.hops = opts.hops;
+  jspec.threshold = opts.threshold;
+  jspec.epochs = opts.epochs;
+  jspec.learning_rate = opts.learning_rate;
+  jspec.max_train_links = opts.max_train_links;
+  jspec.seed = opts.seed;
+  jspec.scheme = spec.scheme;
+  jspec.use_zoo = opts.use_zoo;
+  jspec.zoo_dir = opts.zoo_dir;
 
-  std::vector<locking::KeyBit> key;
-  double sample_s = 0.0, train_s = 0.0, score_s = 0.0;
-  std::size_t training_links = 0, target_links = 0;
-  core::ServingStats serving;
-  if (spec.attack == "muxlink") {
-    core::MuxLinkAttack attack(aopts);
-    const auto r = attack.run(design.netlist);
-    key = r.key;
-    sample_s = r.sample_seconds;
-    train_s = r.train_seconds;
-    score_s = r.score_seconds;
-    training_links = r.training_links;
-    target_links = r.target_links;
-    serving = r.serving;
-  } else {  // "untangle" (validated up front)
-    core::UntangleAttack attack(aopts);
-    const auto r = attack.run(design.netlist);
-    key = r.key;
-    sample_s = r.sample_seconds;
-    train_s = r.train_seconds;
-    score_s = r.score_seconds;
-    training_links = r.training_links;
-    target_links = r.target_links;
-    serving = r.serving;
+  const core::AttackJobOutcome outcome = exec(jspec);
+  const std::vector<locking::KeyBit>& key = outcome.key;
+  if (key.size() != design.key.size()) {
+    throw std::runtime_error("campaign cell returned " + std::to_string(key.size()) +
+                             " key bits, expected " + std::to_string(design.key.size()));
   }
+  const double training_links =
+      outcome.manifest.at("results").number_or("training_links", 0.0);
+  const double target_links = outcome.manifest.at("results").number_or("target_links", 0.0);
 
   const auto score = attacks::score_key(design.key, key);
   locking::HdOptions hopts;
@@ -160,9 +155,6 @@ CampaignCell run_cell(const CellSpec& spec, const CampaignOptions& opts, const f
   m.circuit = spec.circuit;
   m.scheme = spec.scheme;
   m.key_bits = static_cast<std::int64_t>(design.key.size());
-  m.add_stage("sample", sample_s);
-  m.add_stage("train", train_s);
-  m.add_stage("score", score_s);
   m.add_stage("total", std::chrono::duration<double>(std::chrono::steady_clock::now() - t_total)
                            .count());
   m.add_result("accuracy_percent", cell.accuracy_percent);
@@ -171,24 +163,16 @@ CampaignCell run_cell(const CellSpec& spec, const CampaignOptions& opts, const f
   m.add_result("hd_percent", cell.hd_percent);
   m.add_result("key_bits_decided", static_cast<double>(cell.decided));
   m.add_result("key_bits_undecided", static_cast<double>(cell.undecided));
-  m.add_result("training_links", static_cast<double>(training_links));
-  m.add_result("target_links", static_cast<double>(target_links));
+  m.add_result("training_links", training_links);
+  m.add_result("target_links", target_links);
   common::Json extra = common::Json::object();
   extra["attack"] = spec.attack;
   extra["hops"] = opts.hops;
   extra["threshold"] = opts.threshold;
   extra["epochs"] = opts.epochs;
   extra["circuit_scale"] = opts.circuit_scale;
-  extra["deciphered_key"] = render_key(key);
+  extra["deciphered_key"] = outcome.key_string;
   extra["truth_key"] = design.key_string();
-  if (serving.zoo_enabled) {
-    common::Json sj = common::Json::object();
-    sj["zoo_hit"] = serving.zoo_hit;
-    sj["zoo_key"] = serving.zoo_key;
-    sj["cache_hits"] = serving.cache_hits;
-    sj["cache_misses"] = serving.cache_misses;
-    extra["serving"] = std::move(sj);
-  }
   m.extra = std::move(extra);
   common::atomic_write_file(path, m.to_json().dump_pretty() + "\n");
   return cell;
@@ -227,6 +211,35 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   result.cells.resize(specs.size());
   std::vector<char> resumed(specs.size(), 0);
 
+  // Cell executor: in-process by default; through the fleet coordinator
+  // when backends are configured. Identical specs either way, so the
+  // aggregate bytes cannot depend on which path ran (campaign.h).
+  std::unique_ptr<fleet::FleetCoordinator> coord;
+  CellExec exec;
+  if (opts.fleet_backends.empty()) {
+    exec = [](const core::AttackJobSpec& jspec) { return core::run_attack_job(jspec); };
+  } else {
+    fleet::FleetOptions fopts;
+    fopts.backends = opts.fleet_backends;
+    fopts.spool_dir = opts.fleet_spool_dir;
+    fopts.hedge_after_ms = opts.fleet_hedge_after_ms;
+    fopts.max_attempts_per_job = opts.fleet_max_attempts;
+    fopts.retry_budget = opts.fleet_retry_budget;
+    fopts.dispatch_timeout_ms = opts.fleet_dispatch_timeout_ms;
+    fopts.allow_local_fallback = opts.fleet_local_fallback;
+    coord = std::make_unique<fleet::FleetCoordinator>(fopts);
+    coord->start();
+    exec = [&coord](const core::AttackJobSpec& jspec) {
+      const fleet::FleetJobResult r = coord->run(jspec, fleet::Priority::kCampaign);
+      if (!r.ok) throw std::runtime_error("fleet cell failed: " + r.error);
+      core::AttackJobOutcome out;
+      out.manifest = r.manifest;
+      out.key_string = r.key_string;
+      out.key = core::parse_key(r.key_string);
+      return out;
+    };
+  }
+
   // One cell per chunk: cells run concurrently on the current pool while
   // each cell's inner parallel_fors nest inline. Results land by index, and
   // every cell is internally thread-count invariant, so the sweep output
@@ -242,7 +255,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
       if (cell) {
         resumed[i] = 1;
       } else {
-        cell = run_cell(spec, opts, path);
+        cell = run_cell(spec, opts, path, exec);
       }
       result.cells[i] = std::move(*cell);
       MUXLINK_COUNTER_ADD("campaign.cells", 1);

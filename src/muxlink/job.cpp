@@ -48,6 +48,22 @@ std::string render_key(const std::vector<locking::KeyBit>& key) {
   return s;
 }
 
+std::vector<locking::KeyBit> parse_key(const std::string& text) {
+  std::vector<locking::KeyBit> key;
+  key.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '0': key.push_back(locking::KeyBit::kZero); break;
+      case '1': key.push_back(locking::KeyBit::kOne); break;
+      case 'X': key.push_back(locking::KeyBit::kUnknown); break;
+      default:
+        throw std::invalid_argument(std::string("deciphered key: unexpected character '") + c +
+                                    "' (expected 0/1/X)");
+    }
+  }
+  return key;
+}
+
 double recovered_hd_percent(const netlist::Netlist& orig, const netlist::Netlist& recovered,
                             std::size_t patterns, std::uint64_t seed) {
   sim::HammingOptions hopts;

@@ -83,6 +83,11 @@ AttackJobOutcome run_attack_job(const AttackJobSpec& spec);
 // Renders a deciphered key as the 0/1/X string used everywhere.
 std::string render_key(const std::vector<locking::KeyBit>& key);
 
+// Inverse of render_key: parses a 0/1/X string (as carried in RESULT_OK
+// "key" replies and manifest "deciphered_key" fields) back into key bits.
+// Throws std::invalid_argument on any other character.
+std::vector<locking::KeyBit> parse_key(const std::string& text);
+
 // Average HD% between `orig` and `recovered` following the paper's Fig. 8
 // protocol: undeciphered key bits leave free `keyinput*` inputs in
 // `recovered`; the HD is averaged over completions of those bits

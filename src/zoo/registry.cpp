@@ -1,16 +1,59 @@
 #include "zoo/registry.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <system_error>
+#include <unordered_map>
 
 #include "common/atomic_file.h"
 
 namespace muxlink::zoo {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Bump coalescing (read-mostly find). Every find() used to rewrite the
+// blob's mtime, so N concurrent warm jobs hitting the same hot entry
+// serialized on N utimensat calls to one inode. With a window configured
+// (MUXLINK_ZOO_BUMP_WINDOW_MS > 0), only the first find() per entry inside
+// each window pays for the write; the rest are pure reads. LRU recency is
+// unaffected at gc timescales — an entry read any time inside the window is
+// at most one window stale, and the first find on a path always bumps (the
+// strict-monotonicity contract below stays intact). The table is
+// process-local and keyed by path, so distinct Registry instances over one
+// directory share it.
+struct BumpShard {
+  std::mutex m;
+  std::unordered_map<std::string, std::chrono::steady_clock::time_point> last;
+};
+
+long bump_window_ms() {
+  const char* env = std::getenv("MUXLINK_ZOO_BUMP_WINDOW_MS");
+  if (env == nullptr || env[0] == '\0') return 0;  // 0 = bump on every find
+  return std::strtol(env, nullptr, 10);
+}
+
+bool should_bump(const std::string& path) {
+  const long window = bump_window_ms();
+  if (window <= 0) return true;
+  static std::array<BumpShard, 16> shards;
+  BumpShard& shard = shards[fnv1a64(path) & 15];
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(shard.m);
+  const auto [it, first_find] = shard.last.try_emplace(path, now);
+  if (first_find) return true;
+  if (now - it->second < std::chrono::milliseconds(window)) return false;
+  it->second = now;
+  return true;
+}
+
+}  // namespace
 
 std::string hex64(std::uint64_t v) {
   char buf[17];
@@ -58,6 +101,9 @@ std::optional<fs::path> Registry::find(const std::string& key) const {
   const fs::path path = entry_path(key);
   std::error_code ec;
   if (!fs::is_regular_file(path, ec)) return std::nullopt;
+  // Read-mostly fast path: inside a coalescing window the hit is served
+  // without touching the inode (see BumpShard above).
+  if (!should_bump(path.string())) return path;
   // LRU bump. Best-effort: a hit on an entry someone just evicted still
   // reports the miss via the caller's subsequent open. On filesystems with
   // coarse mtime granularity (or when the entry's mtime sits in the future)

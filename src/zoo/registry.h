@@ -92,6 +92,10 @@ class Registry {
   void insert(const std::string& key, std::string_view blob_bytes) const;
 
   // LRU-bumps the entry (mtime := now) and returns its path; nullopt on miss.
+  // Read-mostly serving: when MUXLINK_ZOO_BUMP_WINDOW_MS > 0, repeat hits on
+  // the same entry within the window skip the mtime write (concurrent warm
+  // jobs stop serializing on the inode); the first hit per window still
+  // bumps, so LRU recency is at most one window stale.
   std::optional<std::filesystem::path> find(const std::string& key) const;
 
   // Pinned entries survive any gc budget.

@@ -25,6 +25,7 @@
 #include "daemon/net.h"
 #include "daemon/protocol.h"
 #include "daemon/server.h"
+#include "daemon/spool.h"
 #include "locking/mux_lock.h"
 #include "muxlink/job.h"
 #include "netlist/bench_io.h"
@@ -41,7 +42,8 @@ TEST(Protocol, FrameRoundTripAllTypes) {
                            MsgType::kSubmitOk, MsgType::kStatus,   MsgType::kStatusOk,
                            MsgType::kResult,   MsgType::kResultOk, MsgType::kCancel,
                            MsgType::kCancelOk, MsgType::kStats,    MsgType::kStatsOk,
-                           MsgType::kShutdown, MsgType::kShutdownOk, MsgType::kError};
+                           MsgType::kShutdown, MsgType::kShutdownOk, MsgType::kError,
+                           MsgType::kWaitResult, MsgType::kWaitResultOk};
   for (const MsgType t : types) {
     const std::string payload = std::string("{\"type\":\"") + type_name(t) + "\"}";
     const std::string wire = encode_frame(t, payload);
@@ -199,6 +201,93 @@ TEST(JobSpec, RejectsUnknownKeysAttacksAndTypes) {
   common::Json bad_type = spec.to_json();
   bad_type["epochs"] = "thirty";
   EXPECT_THROW(core::AttackJobSpec::from_json(bad_type), std::invalid_argument);
+}
+
+// --- results spool retention + recovery (DESIGN.md §14) --------------------
+
+class SpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "muxlink-test-spool";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static void age(const std::filesystem::path& p, int hours) {
+    std::filesystem::last_write_time(
+        p, std::filesystem::file_time_type::clock::now() - std::chrono::hours(hours));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SpoolTest, PutGetFetchRoundTripAndCrashRecovery) {
+  {
+    ResultSpool spool({dir_.string()});
+    spool.put("j1", "payload-1");
+    spool.put("j2", "payload-2");
+    EXPECT_EQ(spool.get("j1").value_or(""), "payload-1");
+    EXPECT_FALSE(spool.get("j9").has_value());
+    EXPECT_FALSE(spool.fetched("j1"));
+    spool.mark_fetched("j1");
+    EXPECT_TRUE(spool.fetched("j1"));
+    spool.mark_fetched("j9");  // unknown ids are a no-op, not a marker
+    EXPECT_FALSE(spool.fetched("j9"));
+    // A rewrite makes the entry unfetched again (new result, new pickup).
+    spool.put("j1", "payload-1b");
+    EXPECT_FALSE(spool.fetched("j1"));
+    const auto s = spool.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.unfetched, 2u);
+  }
+  // Crash debris: a writer's staging temp and a gc's orphan marker. A fresh
+  // spool sweeps both on construction and reports the recovery.
+  std::ofstream(dir_ / "j3.json.tmp.999.1") << "torn";
+  std::ofstream(dir_ / "gone.fetched").flush();
+  ResultSpool recovered({dir_.string()});
+  EXPECT_EQ(recovered.stats().recovered_temps, 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "j3.json.tmp.999.1"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "gone.fetched"));
+  EXPECT_EQ(recovered.ids(), (std::vector<std::string>{"j1", "j2"}));
+}
+
+TEST_F(SpoolTest, TtlRemovesOnlyFetchedEntries) {
+  SpoolOptions opts{dir_.string()};
+  opts.ttl_seconds = 3600;
+  ResultSpool spool(opts);
+  spool.put("old-fetched", "x");
+  spool.put("old-unfetched", "x");
+  spool.put("new-fetched", "x");
+  spool.mark_fetched("old-fetched");
+  spool.mark_fetched("new-fetched");
+  age(dir_ / "old-fetched.json", 2);
+  age(dir_ / "old-unfetched.json", 2);
+  spool.gc();
+  // Expired + fetched goes; an unfetched result is pinned however old it is
+  // and a fetched one inside the TTL stays.
+  EXPECT_EQ(spool.ids(), (std::vector<std::string>{"new-fetched", "old-unfetched"}));
+  EXPECT_EQ(spool.stats().gc_removed, 1u);
+}
+
+TEST_F(SpoolTest, SizeCapEvictsOldestFetchedFirstAndSparesUnfetched) {
+  SpoolOptions opts{dir_.string()};
+  opts.max_bytes = 24;  // room for two 10-byte entries, not four
+  ResultSpool spool(opts);
+  const std::string payload(10, 'x');
+  for (const char* id : {"a", "b", "c", "d"}) {
+    spool.put(id, payload);
+  }
+  age(dir_ / "a.json", 4);
+  age(dir_ / "b.json", 3);
+  age(dir_ / "c.json", 2);
+  age(dir_ / "d.json", 1);
+  // Nothing is fetched yet: the spool legitimately sits over the cap.
+  spool.gc();
+  EXPECT_EQ(spool.stats().entries, 4u);
+  // Fetch everything: eviction is oldest-first until the cap holds.
+  for (const char* id : {"a", "b", "c", "d"}) spool.mark_fetched(id);
+  spool.gc();
+  EXPECT_EQ(spool.ids(), (std::vector<std::string>{"c", "d"}));
 }
 
 // --- end-to-end daemon contracts -------------------------------------------
@@ -573,6 +662,108 @@ TEST_F(DaemonE2E, TcpLoopbackRoundTrip) {
   // in-process reference bytes.
   const auto direct = core::run_attack_job(small_job(1));
   EXPECT_EQ(reply.at("manifest").dump_pretty(), direct.manifest.dump_pretty());
+  server.stop();
+}
+
+// --- caps, long-poll and forwarded envelopes (DESIGN.md §14) ----------------
+
+TEST_F(DaemonE2E, CapsNegotiationWaitResultAndForwardedSubmit) {
+  DaemonOptions dopts;
+  dopts.socket_path = socket_path("caps");
+  dopts.workers = 1;
+  dopts.spool_dir = (tmp_ / "caps-spool").string();
+  DaemonServer server(dopts);
+  server.start();
+
+  DaemonClient client(client_options("unix:" + dopts.socket_path));
+  EXPECT_TRUE(client.has_cap("wait_result"));
+  EXPECT_TRUE(client.has_cap("forwarded"));
+  EXPECT_FALSE(client.has_cap("no_such_cap"));
+
+  // A forwarded SUBMIT carries provenance in the envelope and the spec in
+  // "spec"; the result is byte-identical to a plain in-process run.
+  common::Json prov = common::Json::object();
+  prov["coordinator"] = "muxlink-coord";
+  prov["origin_id"] = "f1";
+  prov["attempt"] = 1;
+  const std::string id = client.submit_forwarded(small_job(1), prov);
+
+  // WAIT_RESULT long-poll: one roundtrip blocks server-side until the job
+  // is terminal (0 = let the server pick its cap).
+  const common::Json reply = client.wait_result(id, 0);
+  ASSERT_EQ(reply.string_or("state", ""), "DONE");
+  const auto direct = core::run_attack_job(small_job(1));
+  EXPECT_EQ(reply.at("manifest").dump_pretty(), direct.manifest.dump_pretty());
+
+  const common::Json stats = client.stats();
+  EXPECT_EQ(stats.int_or("jobs_forwarded", 0), 1);
+  EXPECT_GE(stats.int_or("wait_requests", 0), 1);
+  server.stop();
+}
+
+TEST_F(DaemonE2E, WaitResultDeadlineReturnsNonTerminalStateForReissue) {
+  DaemonOptions dopts;
+  dopts.socket_path = socket_path("longpoll");
+  dopts.workers = 1;
+  dopts.wait_result_cap_ms = 200;
+  DaemonServer server(dopts);
+  server.start();
+
+  DaemonClient client(client_options("unix:" + dopts.socket_path));
+  const std::string first = client.submit(small_job(1));
+  const std::string queued = client.submit(small_job(2));
+  // The second job sits behind the first on the single worker; a 1 ms
+  // long-poll must come back with a non-crashing, possibly non-terminal
+  // state ("re-issue" semantics), never hang for the job's duration.
+  const common::Json early = client.wait_result(queued, 1);
+  EXPECT_FALSE(early.string_or("state", "").empty());
+  // Re-issuing with the server-side cap eventually completes both.
+  EXPECT_EQ(client.wait_for_result(first).string_or("state", ""), "DONE");
+  EXPECT_EQ(client.wait_for_result(queued).string_or("state", ""), "DONE");
+  server.stop();
+}
+
+TEST_F(DaemonE2E, V1PeerWithoutCapsIsServedByPollingAndRefusedNewMessages) {
+  DaemonOptions dopts;
+  dopts.socket_path = socket_path("v1peer");
+  dopts.workers = 1;
+  DaemonServer server(dopts);
+  server.start();
+
+  // A PR 9 peer offers no caps: plain SUBMIT + RESULT polling still work.
+  ClientOptions copts = client_options("unix:" + dopts.socket_path);
+  copts.offer_caps = false;
+  DaemonClient v1(std::move(copts));
+  EXPECT_FALSE(v1.has_cap("wait_result"));
+  EXPECT_FALSE(v1.has_cap("forwarded"));
+  const std::string id = v1.submit(small_job(1));
+  const common::Json reply = v1.wait_for_result(id);
+  ASSERT_EQ(reply.string_or("state", ""), "DONE");
+  const auto direct = core::run_attack_job(small_job(1));
+  EXPECT_EQ(reply.at("manifest").dump_pretty(), direct.manifest.dump_pretty());
+
+  // The client-side guard refuses cap-gated calls without negotiation...
+  EXPECT_THROW(v1.wait_result(id, 10), DaemonError);
+  EXPECT_THROW(v1.submit_forwarded(small_job(1), common::Json::object()), DaemonError);
+
+  // ...and the server refuses them on the wire too (a hand-rolled peer that
+  // skipped negotiation gets BAD_REQUEST, not silence).
+  {
+    const int fd = connect_to(parse_address("unix:" + dopts.socket_path));
+    write_frame(fd, MsgType::kHello, "{\"versions\":[1]}");
+    const auto hello = read_frame(fd, kDefaultMaxFrameBytes, 5000);
+    ASSERT_TRUE(hello.has_value());
+    ASSERT_EQ(hello->type, MsgType::kHelloOk);
+    // HELLO_OK without offered caps must not echo a caps list.
+    EXPECT_FALSE(parse_payload(*hello).contains("caps"));
+    write_frame(fd, MsgType::kWaitResult, "{\"job_id\":\"" + id + "\",\"timeout_ms\":1}");
+    const auto err = read_frame(fd, kDefaultMaxFrameBytes, 5000);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->type, MsgType::kError);
+    EXPECT_EQ(parse_payload(*err).int_or("code", 0),
+              static_cast<int>(ErrorCode::kBadRequest));
+    ::close(fd);
+  }
   server.stop();
 }
 

@@ -507,6 +507,30 @@ TEST(Registry, ListAndGcOrderDeterministicUnderIdenticalMtimes) {
   EXPECT_TRUE(reg.contains("delta"));
 }
 
+TEST(Registry, BumpCoalescingSkipsRepeatMtimeWritesInsideTheWindow) {
+  TempDir dir("coalesce");
+  const zoo::Registry reg(dir.path / "zoo");
+  reg.insert("hot", "payload");
+  const auto stale = fs::file_time_type::clock::now() - std::chrono::hours(2);
+
+  ::setenv("MUXLINK_ZOO_BUMP_WINDOW_MS", "60000", 1);
+  // The first find on a path always pays for the bump, window or not —
+  // that keeps the strict-monotonicity contract intact.
+  fs::last_write_time(reg.entry_path("hot"), stale);
+  ASSERT_TRUE(reg.find("hot").has_value());
+  EXPECT_GT(fs::last_write_time(reg.entry_path("hot")), stale);
+
+  // Repeat hits inside the window are pure reads: the mtime we plant stays.
+  fs::last_write_time(reg.entry_path("hot"), stale);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(reg.find("hot").has_value());
+  EXPECT_EQ(fs::last_write_time(reg.entry_path("hot")), stale);
+
+  // With the window off (the default), every find bumps again.
+  ::unsetenv("MUXLINK_ZOO_BUMP_WINDOW_MS");
+  ASSERT_TRUE(reg.find("hot").has_value());
+  EXPECT_GT(fs::last_write_time(reg.entry_path("hot")), stale);
+}
+
 TEST(Registry, FindBumpIsStrictlyMonotonicEvenAgainstFutureMtimes) {
   TempDir dir("bump");
   const zoo::Registry reg(dir.path / "zoo");

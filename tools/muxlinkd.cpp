@@ -2,7 +2,8 @@
 //
 //   muxlinkd [--socket PATH] [--listen HOST:PORT] [--workers N]
 //            [--max-queue N] [--job-timeout S] [--zoo-dir D]
-//            [--max-frame-mb N] [--spool D] [--threads N]
+//            [--max-frame-mb N] [--spool D] [--spool-max-bytes N]
+//            [--spool-ttl S] [--threads N]
 //
 // Runs in the foreground (supervisors own daemonization) serving MXRPC1 on
 // a unix socket (default /tmp/muxlinkd-<uid>.sock) and optionally TCP.
@@ -46,6 +47,14 @@ int usage() {
                      naming a directory (default: MUXLINK_ZOO resolution)
   --max-frame-mb N   MXRPC1 frame ceiling in MiB (default 64)
   --spool D          write each completed job's manifest to D/<job-id>.json
+  --spool-max-bytes N cap the spool directory at N bytes; fetched results are
+                     removed oldest-first once over budget, results never yet
+                     fetched are always spared (0 = unbounded, default)
+  --spool-ttl S      remove fetched spool entries older than S seconds
+                     (0 = keep forever, default)
+  --wait-result-cap MS
+                     server-side ceiling on one WAIT_RESULT long-poll slice
+                     (default 5000); longer client waits re-issue
   --threads N        cap the shared compute pool (default: MUXLINK_THREADS
                      env or all hardware threads); results are bit-identical
                      for any value
@@ -62,7 +71,8 @@ int main(int argc, char** argv) {
   const CliArgs args(argc - 1, argv + 1);
   try {
     args.allow_only({"socket", "listen", "workers", "max-queue", "job-timeout", "zoo-dir",
-                     "max-frame-mb", "spool", "threads", "help"});
+                     "max-frame-mb", "spool", "spool-max-bytes", "spool-ttl", "wait-result-cap",
+                     "threads", "help"});
     if (args.has("help") || !args.positional().empty()) return usage();
     if (const long t = args.get_long("threads", 0); t > 0) {
       common::set_num_threads(static_cast<std::size_t>(t));
@@ -82,7 +92,16 @@ int main(int argc, char** argv) {
     opts.zoo_dir = args.get_or("zoo-dir", "");
     opts.max_frame_bytes = static_cast<std::size_t>(args.get_long("max-frame-mb", 64)) << 20;
     opts.spool_dir = args.get_or("spool", "");
+    opts.spool_max_bytes = static_cast<std::uint64_t>(args.get_long("spool-max-bytes", 0));
+    opts.spool_ttl_seconds = args.get_long("spool-ttl", 0);
+    opts.wait_result_cap_ms = static_cast<int>(args.get_long("wait-result-cap", 5000));
     if (opts.workers < 1) throw std::invalid_argument("--workers must be >= 1");
+    if (opts.wait_result_cap_ms < 1) {
+      throw std::invalid_argument("--wait-result-cap must be >= 1");
+    }
+    if ((opts.spool_max_bytes != 0 || opts.spool_ttl_seconds != 0) && opts.spool_dir.empty()) {
+      throw std::invalid_argument("--spool-max-bytes/--spool-ttl require --spool");
+    }
 
     daemon::DaemonServer server(opts);
     server.start();

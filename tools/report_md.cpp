@@ -3,6 +3,7 @@
 //   report_md <run1.json> [run2.json ...] [--out table.md]
 //   report_md --serving <run1.json> [run2.json ...] [--out table.md]
 //   report_md --daemon <run1.json> [run2.json ...] [--out table.md]
+//   report_md --fleet <run1.json> [run2.json ...] [--out table.md]
 //   report_md --campaign <campaign.json> [--out table.md]
 //   report_md --check <run1.json> [run2.json ...]
 //
@@ -14,7 +15,9 @@
 // manifests as the cold-vs-warm serving table instead (EXPERIMENTS.md,
 // DESIGN.md §11). --daemon renders bench_daemon manifests as the
 // serving-at-scale table (sequential baseline vs concurrent daemon clients,
-// DESIGN.md §13). --campaign renders a `muxlink campaign` aggregate
+// DESIGN.md §13). --fleet renders bench_fleet manifests as the fleet
+// fan-out table (sequential baseline vs coordinator dispatch to N
+// backends, DESIGN.md §14). --campaign renders a `muxlink campaign` aggregate
 // manifest as the defense x attack resilience matrix: one row per cell,
 // with a verdict derived from KPA against the 50% +/- 12 chance band (the
 // band the ANT/RNT protocol uses). --check validates the manifests (schema
@@ -186,6 +189,33 @@ std::string render_daemon_table(const std::vector<RunManifest>& runs) {
   return md.str();
 }
 
+// Fleet serving table for tools/bench_fleet manifests: the sequential
+// one-process baseline against the coordinator fanning the same jobs out to
+// N muxlinkd backends, plus the byte-identity verdict that gates the run.
+std::string render_fleet_table(const std::vector<RunManifest>& runs) {
+  std::ostringstream md;
+  md << "| Circuit | K | Jobs | Backends | Workers | Sequential s | Fleet s | Speedup "
+        "| Retries | Byte-identical |\n";
+  md << "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const RunManifest& m : runs) {
+    md << "| " << m.circuit << " | ";
+    if (m.key_bits >= 0) {
+      md << m.key_bits;
+    } else {
+      md << "—";
+    }
+    md << " | " << cell(result_or_nan(m, "jobs"), 0)
+       << " | " << cell(result_or_nan(m, "fleet_backends"), 0)
+       << " | " << cell(result_or_nan(m, "backend_workers"), 0)
+       << " | " << cell(stage_or_nan(m, "sequential_warm"), 3)
+       << " | " << cell(stage_or_nan(m, "fleet_warm"), 3)
+       << " | " << cell(result_or_nan(m, "fleet_speedup"), 1) << "x"
+       << " | " << cell(result_or_nan(m, "retries"), 0)
+       << " | " << (result_or_nan(m, "bit_identical") == 1.0 ? "yes" : "**NO**") << " |\n";
+  }
+  return md.str();
+}
+
 // Defense x attack resilience matrix for `muxlink campaign` aggregate
 // manifests. The verdict compares KPA against the 50% +/- 12 chance band:
 // above it the attack reads the key (vulnerable), inside it the defense
@@ -229,18 +259,20 @@ std::string render_campaign_table(const std::vector<RunManifest>& runs) {
 int main(int argc, char** argv) {
   const muxlink::tools::CliArgs args(argc - 1, argv + 1);
   try {
-    args.allow_only({"out", "check", "serving", "daemon", "campaign"});
+    args.allow_only({"out", "check", "serving", "daemon", "fleet", "campaign"});
     std::vector<std::string> paths = args.positional();
     // The parser binds "--check run.json" / "--serving run.json" as the
     // flag's value; that token is really the first manifest path.
     if (const auto v = args.get("check"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (const auto v = args.get("serving"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (const auto v = args.get("daemon"); v && !v->empty()) paths.insert(paths.begin(), *v);
+    if (const auto v = args.get("fleet"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (const auto v = args.get("campaign"); v && !v->empty()) paths.insert(paths.begin(), *v);
     if (paths.empty()) {
       std::cerr << "usage: report_md <run.json>... [--out F]  |  report_md --check <run.json>...\n"
                    "       report_md --serving <run.json>...  |  report_md --daemon "
-                   "<run.json>...  |  report_md --campaign <campaign.json>...\n";
+                   "<run.json>...  |  report_md --fleet <run.json>...  |  report_md "
+                   "--campaign <campaign.json>...\n";
       return 1;
     }
     if (args.has("check")) {
@@ -262,6 +294,7 @@ int main(int argc, char** argv) {
     const std::string md = args.has("campaign") ? render_campaign_table(runs)
                            : args.has("serving") ? render_serving_table(runs)
                            : args.has("daemon")  ? render_daemon_table(runs)
+                           : args.has("fleet")   ? render_fleet_table(runs)
                                                  : render_table(runs);
     if (const auto out = args.get("out")) {
       std::ofstream os(*out);
